@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints the
+series the paper plots (run with ``-s`` to see them). Runs are deterministic,
+so a single round per benchmark is meaningful.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def show(table) -> None:
+    print()
+    print(table.render())

@@ -1,0 +1,164 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: they isolate individual mechanisms of
+the model (steering mechanism, NIC-side LRO vs software GRO, the DCA
+dilution model, and the §4 zero-copy what-if) so their contribution to the
+headline results is visible.
+"""
+
+import dataclasses
+
+from repro.config import (
+    ExperimentConfig,
+    HostConfig,
+    OptimizationConfig,
+    SteeringMode,
+)
+from repro.core.experiment import Experiment
+from repro.core.report import Table
+from repro.costs.calibration import zero_copy_cost_model
+from repro.units import msec
+
+from .conftest import show
+
+
+def run(config: ExperimentConfig):
+    return Experiment(
+        config.replace(duration_ns=msec(6), warmup_ns=msec(10))
+    ).run()
+
+
+def steering_ablation() -> Table:
+    """All four Table-2 steering mechanisms on the single-flow workload."""
+    table = Table(
+        "Ablation: flow steering mechanisms (single flow)",
+        ["mechanism", "thpt_per_core_gbps", "miss_rate", "receiver_cores"],
+    )
+    cases = [
+        ("aRFS", ExperimentConfig(opts=OptimizationConfig.all())),
+        (
+            "RFS",
+            ExperimentConfig(
+                opts=OptimizationConfig.tso_gro_jumbo(),
+                worst_case_irq_mapping=False,
+                steering=SteeringMode.RFS,
+            ),
+        ),
+        (
+            "RSS/RPS",
+            ExperimentConfig(
+                opts=OptimizationConfig.tso_gro_jumbo(),
+                worst_case_irq_mapping=False,
+                steering=SteeringMode.RSS,
+            ),
+        ),
+        (
+            "RSS (worst-case pin)",
+            ExperimentConfig(opts=OptimizationConfig.tso_gro_jumbo()),
+        ),
+    ]
+    for label, config in cases:
+        result = run(config)
+        table.add_row(
+            label,
+            result.throughput_per_core_gbps,
+            f"{result.receiver_cache_miss_rate:.0%}",
+            result.receiver_utilization_cores,
+        )
+    return table
+
+
+def test_steering_ablation(once):
+    table = once(steering_ablation)
+    show(table)
+    per_core = dict(zip(table.column("mechanism"),
+                        table.column("thpt_per_core_gbps")))
+    assert per_core["aRFS"] > per_core["RFS"]  # only aRFS unlocks DCA
+    assert per_core["aRFS"] > per_core["RSS (worst-case pin)"]
+
+
+def lro_ablation() -> Table:
+    """Footnote 3: NIC-side LRO vs software GRO."""
+    table = Table(
+        "Ablation: LRO (NIC merge) vs GRO (software merge)",
+        ["receive_offload", "thpt_per_core_gbps", "netdev_fraction"],
+    )
+    from repro.core.taxonomy import Category
+
+    for label, opts in (
+        ("GRO", OptimizationConfig.all()),
+        ("LRO", OptimizationConfig(tso_gro=True, jumbo=True, arfs=True, lro=True)),
+    ):
+        result = run(ExperimentConfig(opts=opts))
+        table.add_row(
+            label,
+            result.throughput_per_core_gbps,
+            result.receiver_breakdown.fraction(Category.NETDEV),
+        )
+    return table
+
+
+def test_lro_ablation(once):
+    """The paper reaches ~55Gbps with LRO: NIC merging skips GRO cycles."""
+    table = once(lro_ablation)
+    show(table)
+    gro, lro = table.rows
+    assert lro[1] > gro[1]        # LRO is faster per core...
+    assert lro[2] < gro[2]        # ...because the netdev share shrinks
+
+
+def dca_dilution_ablation() -> Table:
+    """The descriptor-footprint dilution model behind Fig 3e."""
+    table = Table(
+        "Ablation: DCA dilution exponent (ring=8192, static 3200KB buffer)",
+        ["dilution_exponent", "thpt_gbps", "miss_rate"],
+    )
+    from repro.config import NicConfig, TcpConfig
+    from repro.units import kb
+
+    for exponent in (0.0, 0.25, 1.0):
+        config = ExperimentConfig(
+            host=HostConfig(dca_dilution_exponent=exponent),
+            nic=NicConfig(rx_descriptors=8192),
+            tcp=TcpConfig(rx_buffer_bytes=kb(3200), autotune_rx_buffer=False),
+        )
+        result = run(config)
+        table.add_row(
+            exponent,
+            result.total_throughput_gbps,
+            f"{result.receiver_cache_miss_rate:.0%}",
+        )
+    return table
+
+
+def test_dca_dilution_ablation(once):
+    table = once(dca_dilution_ablation)
+    show(table)
+    throughputs = table.column("thpt_gbps")
+    assert throughputs[0] > throughputs[2]  # stronger dilution hurts
+
+
+def zero_copy_ablation() -> Table:
+    """§4 what-if: receiver-side zero copy."""
+    table = Table(
+        "Ablation: zero-copy receive path (paper §4)",
+        ["stack", "thpt_per_core_gbps"],
+    )
+    baseline = run(ExperimentConfig())
+    zero = run(
+        ExperimentConfig(
+            cost_overrides=dataclasses.asdict(zero_copy_cost_model())
+        )
+    )
+    table.add_row("in-kernel copies", baseline.throughput_per_core_gbps)
+    table.add_row("zero-copy", zero.throughput_per_core_gbps)
+    return table
+
+
+def test_zero_copy_ablation(once):
+    """The paper projects ~100Gbps-per-core without the receive copy."""
+    table = once(zero_copy_ablation)
+    show(table)
+    baseline, zero = table.column("thpt_per_core_gbps")
+    assert zero > 1.6 * baseline
+    assert zero > 80

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Fig 7 (outcast, §3.4)."""
+
+from repro.figures import fig7
+
+from .conftest import show
+
+
+def test_fig7a_sender_core_efficiency(once):
+    table = once(fig7.fig7a, flows=(1, 8))
+    show(table)
+    all_opt = [row for row in table.rows if row[1] == "+aRFS"]
+    # a single sender core sustains close to the paper's ~89Gbps at 8 flows
+    assert all_opt[1][2] > 70
+    # total throughput scales with the number of receiver cores
+    assert all_opt[1][3] > all_opt[0][3]
+
+
+def test_fig7b_copy_still_dominant(once):
+    results = once(fig7._all_opt_results, (8,))
+    table = fig7.fig7b(results)
+    show(table)
+    copy = float(table.rows[0][table.columns.index("data copy")])
+    assert copy > 0.30
+
+
+def test_fig7c_sender_cache_warm(once):
+    results = once(fig7._all_opt_results, (8,))
+    table = fig7.fig7c(results)
+    show(table)
+    miss = float(table.rows[0][3].rstrip("%"))
+    assert miss < 35

@@ -1,0 +1,17 @@
+"""Benchmarks regenerating the paper's Tables 1 and 2."""
+
+from repro.figures import tables
+
+from .conftest import show
+
+
+def test_table1_taxonomy(once):
+    table = once(tables.table1)
+    show(table)
+    assert len(table.rows) == 8  # the paper's 8 CPU-usage categories
+
+
+def test_table2_steering(once):
+    table = once(tables.table2)
+    show(table)
+    assert [row[0] for row in table.rows] == ["RPS", "RFS", "RSS", "ARFS"]

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Congestion control protocols and in-network loss (paper §3.6, §3.10).
+
+Part 1 compares CUBIC, BBR and DCTCP on a clean path (Fig 13): the receiver
+is the bottleneck, so throughput barely moves, but BBR's pacing timers show
+up as sender-side scheduling.
+
+Part 2 injects random drops at a switch (Fig 9) and watches retransmissions
+eat into throughput while the TCP share of CPU grows.
+
+Run:
+    python examples/congestion_loss_study.py
+"""
+
+from repro import (
+    CongestionControl,
+    Experiment,
+    ExperimentConfig,
+    LinkConfig,
+    TcpConfig,
+)
+from repro.core.taxonomy import Category
+from repro.units import msec
+
+
+def run(config: ExperimentConfig):
+    return Experiment(
+        config.replace(duration_ns=msec(8), warmup_ns=msec(12))
+    ).run()
+
+
+def main() -> None:
+    print("== congestion control (clean path) ==")
+    print(f"{'protocol':8s} {'thpt/core':>10s} {'snd sched%':>11s} {'rcv copy%':>10s}")
+    for cc in (CongestionControl.CUBIC, CongestionControl.BBR, CongestionControl.DCTCP):
+        link = LinkConfig(has_switch=(cc is CongestionControl.DCTCP))
+        result = run(ExperimentConfig(tcp=TcpConfig(congestion_control=cc), link=link))
+        print(
+            f"{cc.value:8s} {result.throughput_per_core_gbps:9.1f}G "
+            f"{result.sender_breakdown.fraction(Category.SCHED):10.1%} "
+            f"{result.receiver_breakdown.fraction(Category.DATA_COPY):9.1%}"
+        )
+
+    print()
+    print("== random drops at an in-path switch ==")
+    print(f"{'loss rate':>9s} {'total':>8s} {'thpt/core':>10s} {'retx':>6s} "
+          f"{'rcv tcp%':>9s}")
+    for loss in (0.0, 1.5e-4, 1.5e-3, 1.5e-2):
+        result = run(
+            ExperimentConfig(link=LinkConfig(loss_rate=loss, has_switch=True))
+        )
+        print(
+            f"{loss:9.0e} {result.total_throughput_gbps:7.1f}G "
+            f"{result.throughput_per_core_gbps:9.1f}G {result.retransmits:6d} "
+            f"{result.receiver_breakdown.fraction(Category.TCPIP):8.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

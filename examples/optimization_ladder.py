@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Walk the paper's Fig 3a optimization ladder.
+
+Enables TSO/GRO, jumbo frames, and aRFS incrementally — exactly the columns
+of the paper's Fig 3a — and shows how the bottleneck shifts from protocol
+processing to data copy as packet-processing overheads are optimized away.
+
+Run:
+    python examples/optimization_ladder.py
+"""
+
+from repro import Experiment, ExperimentConfig, OptimizationConfig
+from repro.core.taxonomy import Category
+from repro.units import msec
+
+
+def main() -> None:
+    print(f"{'config':10s} {'thpt/core':>10s} {'total':>8s} "
+          f"{'rcv util':>9s} {'copy%':>6s} {'tcpip%':>7s} {'miss%':>6s}")
+    for label, opts in OptimizationConfig.incremental_ladder():
+        config = ExperimentConfig(
+            opts=opts, duration_ns=msec(8), warmup_ns=msec(10)
+        )
+        result = Experiment(config).run()
+        breakdown = result.receiver_breakdown
+        print(
+            f"{label:10s} {result.throughput_per_core_gbps:9.1f}G "
+            f"{result.total_throughput_gbps:7.1f}G "
+            f"{result.receiver_utilization_cores:8.2f}c "
+            f"{breakdown.fraction(Category.DATA_COPY):6.1%} "
+            f"{breakdown.fraction(Category.TCPIP):6.1%} "
+            f"{result.receiver_cache_miss_rate:6.1%}"
+        )
+    print()
+    print("Note how TCP/IP processing dominates the unoptimized stack while")
+    print("data copy dominates once aggregation offloads are on - the paper's")
+    print("core finding about the shifting bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Command-line interface: run experiments and regenerate paper figures.
+
+Usage examples::
+
+    python -m repro run --pattern incast --flows 8
+    python -m repro run --pattern single --no-arfs --loss 1.5e-3
+    python -m repro figure fig3a
+    python -m repro figure fig8c --export /tmp/fig8c.csv
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import (
+    CongestionControl,
+    ExperimentConfig,
+    HostConfig,
+    LinkConfig,
+    NicConfig,
+    NumaPolicy,
+    OptimizationConfig,
+    TcpConfig,
+    TrafficPattern,
+    WorkloadConfig,
+)
+from .core.experiment import Experiment
+from .core.export import export_table, result_to_json
+from .units import kb, msec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulation-based reproduction of 'Understanding Host "
+        "Network Stack Overheads' (SIGCOMM 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment and print its result")
+    run.add_argument("--pattern", default="single",
+                     choices=[p.value for p in TrafficPattern])
+    run.add_argument("--flows", type=int, default=1)
+    run.add_argument("--duration-ms", type=float, default=8.0)
+    run.add_argument("--warmup-ms", type=float, default=10.0)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--no-tso-gro", action="store_true")
+    run.add_argument("--no-jumbo", action="store_true")
+    run.add_argument("--no-arfs", action="store_true")
+    run.add_argument("--lro", action="store_true", help="NIC-side merge instead of GRO")
+    run.add_argument("--no-dca", action="store_true", help="disable DDIO")
+    run.add_argument("--iommu", action="store_true", help="enable the IOMMU")
+    run.add_argument("--numa-remote", action="store_true",
+                     help="place receiver apps on NIC-remote NUMA nodes")
+    run.add_argument("--cc", default="cubic",
+                     choices=[c.value for c in CongestionControl])
+    run.add_argument("--loss", type=float, default=0.0,
+                     help="random drop rate at an in-path switch")
+    run.add_argument("--rx-buffer-kb", type=int, default=0,
+                     help="pin the TCP Rx buffer (disables autotuning)")
+    run.add_argument("--ring", type=int, default=0, help="NIC Rx descriptors")
+    run.add_argument("--rpc-kb", type=int, default=4, help="RPC message size")
+    run.add_argument("--rpc-flows", type=int, default=0,
+                     help="short flows for the mixed pattern")
+    run.add_argument("--json", action="store_true", help="emit JSON")
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure panel")
+    figure.add_argument("name", help="e.g. fig3a, fig8c, table1")
+    figure.add_argument("--export", help="write the table to a .csv/.json file")
+
+    sub.add_parser("list", help="list available figure panels")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    opts = OptimizationConfig(
+        tso_gro=not args.no_tso_gro,
+        jumbo=not args.no_jumbo,
+        arfs=not args.no_arfs,
+        lro=args.lro,
+    )
+    tcp = TcpConfig(congestion_control=CongestionControl(args.cc))
+    if args.rx_buffer_kb:
+        tcp.rx_buffer_bytes = kb(args.rx_buffer_kb)
+        tcp.autotune_rx_buffer = False
+    nic = NicConfig()
+    if args.ring:
+        nic.rx_descriptors = args.ring
+    link = LinkConfig(loss_rate=args.loss, has_switch=args.loss > 0)
+    host = HostConfig(dca_enabled=not args.no_dca, iommu_enabled=args.iommu)
+    return ExperimentConfig(
+        pattern=TrafficPattern(args.pattern),
+        num_flows=args.flows,
+        duration_ns=msec(args.duration_ms),
+        warmup_ns=msec(args.warmup_ms),
+        seed=args.seed,
+        opts=opts,
+        tcp=tcp,
+        nic=nic,
+        link=link,
+        host=host,
+        numa_policy=(
+            NumaPolicy.NIC_REMOTE if args.numa_remote else NumaPolicy.NIC_LOCAL_FIRST
+        ),
+        workload=WorkloadConfig(
+            rpc_size_bytes=kb(args.rpc_kb), num_rpc_flows=args.rpc_flows
+        ),
+    )
+
+
+def _panel_registry() -> dict:
+    from .figures import ALL_FIGURES, tables
+
+    panels = {"table1": tables.table1, "table2": tables.table2}
+    for module in ALL_FIGURES.values():
+        for name in dir(module):
+            if name.startswith("fig") and callable(getattr(module, name)):
+                panels[name] = getattr(module, name)
+    return panels
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = Experiment(_config_from_args(args)).run()
+    if args.json:
+        print(result_to_json(result))
+        return 0
+    print(result.summary())
+    print()
+    print("receiver CPU breakdown:")
+    for label, fraction in result.receiver_breakdown.as_rows():
+        print(f"  {label:22s} {fraction:6.1%}")
+    print("sender CPU breakdown:")
+    for label, fraction in result.sender_breakdown.as_rows():
+        print(f"  {label:22s} {fraction:6.1%}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    panels = _panel_registry()
+    generator = panels.get(args.name)
+    if generator is None:
+        print(f"unknown panel {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    table = generator()
+    print(table.render())
+    if args.export:
+        export_table(table, args.export)
+        print(f"\nwritten to {args.export}")
+    return 0
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    for name in sorted(_panel_registry()):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "figure": cmd_figure, "list": cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

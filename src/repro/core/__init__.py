@@ -1,0 +1,20 @@
+"""The paper's primary contribution: CPU profiling harness, experiment runner,
+metrics and reports for host network stack overheads."""
+
+from .taxonomy import Category, categorize, FUNCTION_CATEGORY
+from .profiler import CpuProfiler
+from .metrics import SideMetrics, LatencyStats
+from .results import ExperimentResult, BreakdownTable
+from .experiment import Experiment
+
+__all__ = [
+    "Category",
+    "categorize",
+    "FUNCTION_CATEGORY",
+    "CpuProfiler",
+    "SideMetrics",
+    "LatencyStats",
+    "ExperimentResult",
+    "BreakdownTable",
+    "Experiment",
+]

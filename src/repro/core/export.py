@@ -1,0 +1,101 @@
+"""Export experiment results and figure tables to JSON / CSV.
+
+Lets downstream users archive runs and plot the regenerated figures with
+their own tooling (the paper's artifact ships gnuplot scripts; we ship data).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Union
+
+from .report import Table
+from .results import ExperimentResult
+from .taxonomy import Category
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Flatten an :class:`ExperimentResult` into JSON-serializable primitives."""
+    return {
+        "config": result.config_summary,
+        "duration_ns": result.duration_ns,
+        "total_throughput_gbps": result.total_throughput_gbps,
+        "throughput_per_core_gbps": result.throughput_per_core_gbps,
+        "throughput_per_sender_core_gbps": result.throughput_per_sender_core_gbps,
+        "throughput_per_receiver_core_gbps": result.throughput_per_receiver_core_gbps,
+        "bottleneck_side": result.bottleneck_side,
+        "sender_utilization_cores": result.sender_utilization_cores,
+        "receiver_utilization_cores": result.receiver_utilization_cores,
+        "sender_breakdown": {
+            cat.value: result.sender_breakdown.fraction(cat) for cat in Category
+        },
+        "receiver_breakdown": {
+            cat.value: result.receiver_breakdown.fraction(cat) for cat in Category
+        },
+        "receiver_cache_miss_rate": result.receiver_cache_miss_rate,
+        "sender_cache_miss_rate": result.sender_cache_miss_rate,
+        "copy_latency_ns": {
+            "avg": result.copy_latency.avg_ns,
+            "p50": result.copy_latency.p50_ns,
+            "p99": result.copy_latency.p99_ns,
+            "max": result.copy_latency.max_ns,
+            "count": result.copy_latency.count,
+        },
+        "rx_skb_sizes": {str(k): v for k, v in sorted(result.rx_skb_sizes.items())},
+        "retransmits": result.retransmits,
+        "timeouts": result.timeouts,
+        "nic_rx_drops": result.nic_rx_drops,
+        "wire_drops": result.wire_drops,
+        "throughput_by_tag_gbps": dict(result.throughput_by_tag_gbps),
+        "per_flow_gbps": {str(k): v for k, v in sorted(result.per_flow_gbps.items())},
+    }
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialize one result as a JSON document."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialize a figure :class:`Table` as CSV (header = column names)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_json(table: Table, indent: int = 2) -> str:
+    """Serialize a figure :class:`Table` as JSON records."""
+    records = [dict(zip(table.columns, row)) for row in table.rows]
+    return json.dumps({"title": table.title, "rows": records}, indent=indent)
+
+
+def write(path: str, content: str) -> None:
+    """Write exported content to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(content)
+
+
+def export_result(result: ExperimentResult, path: str) -> None:
+    """Export a result to ``path`` (.json or .csv inferred from suffix)."""
+    if path.endswith(".json"):
+        write(path, result_to_json(result))
+        return
+    raise ValueError(f"unsupported export format for {path!r} (use .json)")
+
+
+def export_table(table: Table, path: str) -> None:
+    """Export a figure table to ``path`` (.json or .csv by suffix)."""
+    if path.endswith(".csv"):
+        write(path, table_to_csv(table))
+    elif path.endswith(".json"):
+        write(path, table_to_json(table))
+    else:
+        raise ValueError(f"unsupported export format for {path!r} (use .csv/.json)")
+
+
+Exportable = Union[ExperimentResult, Table]

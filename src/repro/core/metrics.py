@@ -1,0 +1,132 @@
+"""Measurement collection: throughput, copy hit/miss, latency, skb sizes.
+
+A single :class:`MetricsHub` is shared by both hosts of an experiment; the
+experiment resets it at the end of warmup so only steady-state behaviour is
+reported (the paper's methodology, §2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Cap on stored latency samples per host (runs are short; this is generous).
+MAX_LATENCY_SAMPLES = 500_000
+
+
+@dataclass
+class LatencyStats:
+    """Summary of a latency sample set, in nanoseconds."""
+
+    count: int
+    avg_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_samples(cls, samples: List[int]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def pct(p: float) -> float:
+            index = min(n - 1, max(0, math.ceil(p * n) - 1))
+            return float(ordered[index])
+
+        return cls(
+            count=n,
+            avg_ns=sum(ordered) / n,
+            p50_ns=pct(0.50),
+            p99_ns=pct(0.99),
+            max_ns=float(ordered[-1]),
+        )
+
+
+@dataclass
+class SideMetrics:
+    """Per-host counters."""
+
+    delivered_bytes: int = 0
+    copy_hit_bytes: int = 0
+    copy_miss_bytes: int = 0
+    sender_copy_hit_bytes: int = 0
+    sender_copy_miss_bytes: int = 0
+    latency_samples: List[int] = field(default_factory=list)
+    rx_skb_sizes: Counter = field(default_factory=Counter)
+
+    def cache_miss_rate(self) -> float:
+        total = self.copy_hit_bytes + self.copy_miss_bytes
+        return self.copy_miss_bytes / total if total else 0.0
+
+    def sender_cache_miss_rate(self) -> float:
+        total = self.sender_copy_hit_bytes + self.sender_copy_miss_bytes
+        return self.sender_copy_miss_bytes / total if total else 0.0
+
+
+class MetricsHub:
+    """Shared metric sink for one experiment."""
+
+    def __init__(self) -> None:
+        self._sides: Dict[str, SideMetrics] = defaultdict(SideMetrics)
+        self._per_flow_bytes: Dict[Tuple[str, int], int] = defaultdict(int)
+        self._flow_tags: Dict[int, str] = {}
+
+    def reset(self) -> None:
+        """Discard all measurements (end of warmup). Flow tags persist."""
+        self._sides.clear()
+        self._per_flow_bytes.clear()
+
+    # --- registration ------------------------------------------------------------
+
+    def register_flow(self, flow_id: int, tag: str) -> None:
+        self._flow_tags.setdefault(flow_id, tag)
+
+    # --- recording -----------------------------------------------------------------
+
+    def side(self, host: str) -> SideMetrics:
+        return self._sides[host]
+
+    def record_delivered(self, host: str, flow_id: int, nbytes: int) -> None:
+        side = self._sides[host]
+        side.delivered_bytes += nbytes
+        self._per_flow_bytes[(host, flow_id)] += nbytes
+
+    def record_receiver_copy(self, host: str, hit: int, miss: int) -> None:
+        side = self._sides[host]
+        side.copy_hit_bytes += hit
+        side.copy_miss_bytes += miss
+
+    def record_sender_copy(self, host: str, hit: int, miss: int) -> None:
+        side = self._sides[host]
+        side.sender_copy_hit_bytes += hit
+        side.sender_copy_miss_bytes += miss
+
+    def record_copy_latency(self, host: str, latency_ns: int) -> None:
+        samples = self._sides[host].latency_samples
+        if len(samples) < MAX_LATENCY_SAMPLES:
+            samples.append(latency_ns)
+
+    def record_rx_skb(self, host: str, payload_bytes: int) -> None:
+        self._sides[host].rx_skb_sizes[payload_bytes] += 1
+
+    # --- queries ----------------------------------------------------------------------
+
+    def total_delivered_bytes(self) -> int:
+        return sum(side.delivered_bytes for side in self._sides.values())
+
+    def delivered_by_tag(self) -> Dict[str, int]:
+        """Delivered bytes per flow tag, summed over both hosts."""
+        out: Dict[str, int] = defaultdict(int)
+        for (_, flow_id), nbytes in self._per_flow_bytes.items():
+            out[self._flow_tags.get(flow_id, "untagged")] += nbytes
+        return dict(out)
+
+    def flow_bytes(self, host: str, flow_id: int) -> int:
+        return self._per_flow_bytes.get((host, flow_id), 0)
+
+    def latency_stats(self, host: str) -> LatencyStats:
+        return LatencyStats.from_samples(self._sides[host].latency_samples)

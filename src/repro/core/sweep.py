@@ -1,0 +1,30 @@
+"""Parameter sweeps: run a family of configurations and collect results."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from ..config import ExperimentConfig
+from .experiment import Experiment
+from .results import ExperimentResult
+
+ConfigFactory = Callable[[object], ExperimentConfig]
+
+
+def run_sweep(
+    values: Iterable[object],
+    make_config: ConfigFactory,
+) -> List[Tuple[object, ExperimentResult]]:
+    """Run ``make_config(v)`` for every sweep value and collect results."""
+    out: List[Tuple[object, ExperimentResult]] = []
+    for value in values:
+        config = make_config(value)
+        out.append((value, Experiment(config).run()))
+    return out
+
+
+def run_labeled(
+    configs: Iterable[Tuple[str, ExperimentConfig]],
+) -> Dict[str, ExperimentResult]:
+    """Run a list of ``(label, config)`` pairs (e.g. the Fig-3a ladder)."""
+    return {label: Experiment(config).run() for label, config in configs}

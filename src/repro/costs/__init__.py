@@ -1,0 +1,6 @@
+"""CPU-cycle cost model and its calibration against the paper's numbers."""
+
+from .model import CostModel
+from .calibration import default_cost_model
+
+__all__ = ["CostModel", "default_cost_model"]

@@ -1,0 +1,94 @@
+"""Per-operation CPU cycle costs.
+
+Every constant is a *cost of one mechanism execution* (one skb through the TCP
+layer, one page allocation, one context switch, ...). All of the paper's
+trends must come from how often the mechanisms run and in which cache/NUMA
+state — not from per-scenario tweaks. See ``calibration.py`` for how default
+values are derived from the paper's own measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    """Cycle costs for each simulated kernel operation (3.4GHz core)."""
+
+    # --- data copy (cycles per byte) --------------------------------------------
+    copy_per_byte_l3_hit: float = 0.12
+    copy_per_byte_l3_miss: float = 0.42
+    copy_per_byte_remote_numa_extra: float = 0.10
+    copy_per_call: float = 300.0
+
+    # --- syscall / misc ------------------------------------------------------------
+    syscall_cycles: float = 500.0
+    irq_cycles: float = 700.0
+    csum_per_byte: float = 0.0  # checksum offloaded to NIC by default
+
+    # --- skb management ---------------------------------------------------------------
+    skb_alloc_cycles: float = 380.0      # kmem_cache_alloc_node (memory)
+    skb_free_cycles: float = 230.0       # kmem_cache_free (memory)
+    skb_build_cycles: float = 180.0      # __build_skb (skb mgmt)
+    skb_put_cycles: float = 60.0         # per-frag attach (skb mgmt)
+    skb_release_cycles: float = 150.0    # skb_release_data (skb mgmt)
+    skb_segment_per_seg: float = 160.0   # software GSO split (skb mgmt)
+    skb_clone_cycles: float = 180.0      # retransmit clone (skb mgmt)
+
+    # --- TCP/IP processing ---------------------------------------------------------------
+    tcp_sendmsg_per_skb: float = 650.0
+    tcp_write_xmit_per_skb: float = 450.0
+    ip_tx_per_skb: float = 280.0
+    tcp_rcv_per_skb: float = 850.0
+    ip_rx_per_skb: float = 250.0
+    tcp_ack_tx_cycles: float = 550.0     # build + send one ACK
+    tcp_ack_rx_cycles: float = 600.0     # process one incoming ACK
+    tcp_dupack_rx_extra: float = 250.0   # SACK/dupack bookkeeping on top
+    tcp_ofo_queue_cycles: float = 800.0  # out-of-order segment queuing
+    tcp_retransmit_cycles: float = 900.0
+    tcp_clean_rtx_per_skb: float = 120.0  # freeing acked skbs off the rtx queue
+
+    # --- netdevice subsystem / driver ----------------------------------------------------
+    napi_poll_overhead: float = 800.0    # per softirq poll invocation
+    driver_rx_per_frame: float = 200.0   # mlx5e_poll_rx_cq per completion
+    gro_receive_per_frame: float = 340.0 # merge attempt per frame
+    gro_flush_per_skb: float = 160.0
+    gso_segment_per_frame: float = 90.0  # software segmentation, per produced seg
+    qdisc_per_skb: float = 340.0
+    driver_tx_per_skb: float = 300.0
+    driver_tx_per_frame: float = 25.0    # descriptor writes when NIC lacks TSO
+    lro_nic_assist_per_frame: float = 0.0  # NIC-side merge burns no host cycles
+    rps_backlog_enqueue_cycles: float = 250.0  # software-steering IPI + backlog
+
+    # --- memory management ------------------------------------------------------------------
+    page_alloc_pcp_cycles: float = 80.0       # from per-core pageset
+    page_alloc_global_cycles: float = 180.0   # per page via zone free list...
+    page_alloc_global_batch_cycles: float = 800.0  # ...plus per rmqueue_bulk refill
+    page_free_local_cycles: float = 75.0
+    page_free_remote_cycles: float = 180.0    # freeing to remote NUMA node
+    page_free_global_cycles: float = 140.0    # per page flushed on pcp overflow...
+    page_free_global_batch_cycles: float = 800.0   # ...plus per free_pcppages_bulk call
+    iommu_map_per_page: float = 330.0
+    iommu_unmap_per_page: float = 370.0
+
+    # --- locks ----------------------------------------------------------------------------------
+    sock_lock_uncontended: float = 90.0
+    sock_lock_contended: float = 900.0
+
+    # --- scheduling --------------------------------------------------------------------------------
+    context_switch_cycles: float = 2200.0
+    wakeup_cycles: float = 1400.0
+    pacer_timer_cycles: float = 1100.0   # BBR/fq pacing hrtimer fire + requeue
+
+    def replace(self, **kwargs: float) -> "CostModel":
+        """Return a copy with some constants overridden."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity-check that all costs are non-negative."""
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(f"cost {field.name} must be >= 0, got {value}")

@@ -1,0 +1,43 @@
+"""Shared plumbing for the figure generators.
+
+Simulated durations are short (milliseconds) because steady-state rates
+converge quickly; warmups are sized per scenario so receive-buffer autotuning
+and queue fill transients complete before measurement (incast with many
+autotuned flows needs the longest warmup).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ExperimentConfig, TrafficPattern
+from ..core.experiment import Experiment
+from ..core.results import ExperimentResult
+from ..units import msec
+
+#: Measurement window used by all figures.
+DURATION_NS = msec(8)
+
+#: Warmup per traffic pattern (queue-fill transients differ).
+WARMUP_NS = {
+    TrafficPattern.SINGLE: msec(10),
+    TrafficPattern.ONE_TO_ONE: msec(12),
+    TrafficPattern.INCAST: msec(40),
+    TrafficPattern.OUTCAST: msec(12),
+    TrafficPattern.ALL_TO_ALL: msec(12),
+    TrafficPattern.RPC_INCAST: msec(12),
+    TrafficPattern.MIXED: msec(12),
+}
+
+
+def run(config: ExperimentConfig, warmup_ns: Optional[int] = None) -> ExperimentResult:
+    """Run ``config`` with figure-standard duration/warmup."""
+    if warmup_ns is None:
+        warmup_ns = WARMUP_NS[config.pattern]
+    return Experiment(
+        config.replace(duration_ns=DURATION_NS, warmup_ns=warmup_ns)
+    ).run()
+
+
+def pct(fraction: float) -> str:
+    return f"{100 * fraction:.0f}%"

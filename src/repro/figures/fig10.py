@@ -1,0 +1,101 @@
+"""Fig 10: short-flow RPC workloads, 16:1 incast, 4KB..64KB messages (§3.7).
+
+Sixteen ping-pong clients drive one server application thread; the server
+core is the bottleneck, so the metric divides by *server-side* utilization.
+For tiny RPCs data copy stops being the dominant CPU consumer and DCA/NUMA
+placement stops mattering (panel c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import (
+    ExperimentConfig,
+    NumaPolicy,
+    OptimizationConfig,
+    TrafficPattern,
+    WorkloadConfig,
+)
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from ..units import kb
+from .base import pct, run
+
+RPC_SIZES_KB = (4, 16, 32, 64)
+NUM_CLIENTS = 16
+
+
+def _config(
+    size_kb: int,
+    opts: OptimizationConfig = None,
+    numa: NumaPolicy = NumaPolicy.NIC_LOCAL_FIRST,
+) -> ExperimentConfig:
+    return ExperimentConfig(
+        pattern=TrafficPattern.RPC_INCAST,
+        num_flows=NUM_CLIENTS,
+        opts=opts or OptimizationConfig.all(),
+        workload=WorkloadConfig(rpc_size_bytes=kb(size_kb)),
+        numa_policy=numa,
+    )
+
+
+def _all_opt_results(sizes=RPC_SIZES_KB) -> List[Tuple[int, ExperimentResult]]:
+    return [(s, run(_config(s))) for s in sizes]
+
+
+def fig10a(sizes: Tuple[int, ...] = RPC_SIZES_KB) -> Table:
+    """Throughput-per-server-core per optimization column and RPC size."""
+    table = Table(
+        "Fig 10a: 16:1 RPC throughput-per-server-core (Gbps) vs RPC size",
+        ["rpc_size_kb", "config", "thpt_per_server_core_gbps", "total_thpt_gbps"],
+    )
+    for size in sizes:
+        for label, opts in OptimizationConfig.incremental_ladder():
+            result = run(_config(size, opts))
+            table.add_row(
+                size,
+                label,
+                result.throughput_per_receiver_core_gbps,
+                result.total_throughput_gbps,
+            )
+    return table
+
+
+def fig10b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Server-side CPU breakdown vs RPC size (all optimizations on)."""
+    results = results or _all_opt_results()
+    return render_breakdown_table(
+        "Fig 10b: RPC server CPU breakdown vs RPC size",
+        [(f"{size}KB", r.receiver_breakdown) for size, r in results],
+    )
+
+
+def fig10c(size_kb: int = 4) -> Table:
+    """NIC-local vs NIC-remote server placement for small RPCs."""
+    table = Table(
+        "Fig 10c: 4KB RPCs, server on NIC-local vs NIC-remote NUMA node",
+        ["placement", "thpt_per_server_core_gbps", "server_miss_rate"],
+    )
+    for label, numa in (
+        ("NIC-local NUMA", NumaPolicy.NIC_LOCAL_FIRST),
+        ("NIC-remote NUMA", NumaPolicy.NIC_REMOTE),
+    ):
+        result = run(_config(size_kb, numa=numa))
+        table.add_row(
+            label,
+            result.throughput_per_receiver_core_gbps,
+            pct(result.receiver_cache_miss_rate),
+        )
+    return table
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _all_opt_results()
+    return {"fig10a": fig10a(), "fig10b": fig10b(shared), "fig10c": fig10c()}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

@@ -1,0 +1,91 @@
+"""Fig 11: mixing one long flow with N short RPC flows on a single core (§3.7).
+
+Both the long flow's and the short flows' throughput collapse when mixed on
+the same core, relative to running each in isolation — the paper's argument
+for application-aware core scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import ExperimentConfig, TrafficPattern, WorkloadConfig
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import run
+
+SHORT_FLOW_COUNTS = (0, 1, 4, 16)
+
+
+def _config(num_short: int, include_long: bool = True) -> ExperimentConfig:
+    return ExperimentConfig(
+        pattern=TrafficPattern.MIXED,
+        workload=WorkloadConfig(
+            num_rpc_flows=num_short, include_long_flow=include_long
+        ),
+    )
+
+
+def _results(counts=SHORT_FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
+    return [(n, run(_config(n))) for n in counts]
+
+
+def fig11a(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    table = Table(
+        "Fig 11a: long flow mixed with N short flows on one core (Gbps)",
+        ["short_flows", "thpt_per_core_gbps", "long_gbps", "short_gbps"],
+    )
+    for n, result in results:
+        tags = result.throughput_by_tag_gbps
+        table.add_row(
+            n,
+            result.throughput_per_core_gbps,
+            tags.get("long", 0.0),
+            tags.get("short", 0.0),
+        )
+    return table
+
+
+def fig11b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    return render_breakdown_table(
+        "Fig 11b: server CPU breakdown vs colocated short flows",
+        [(f"{n} short flows", r.receiver_breakdown) for n, r in results],
+    )
+
+
+def isolation_comparison(num_short: int = 16) -> Table:
+    """The §3.7 headline: long/short throughput in isolation vs mixed."""
+    long_alone = run(_config(0))
+    short_alone = run(_config(num_short, include_long=False))
+    mixed = run(_config(num_short))
+    table = Table(
+        "Fig 11 (text): isolation vs mixing on one core (Gbps)",
+        ["workload", "long_gbps", "short_gbps"],
+    )
+    table.add_row(
+        "isolated", long_alone.throughput_by_tag_gbps.get("long", 0.0),
+        short_alone.throughput_by_tag_gbps.get("short", 0.0),
+    )
+    table.add_row(
+        f"mixed (1 long + {num_short} short)",
+        mixed.throughput_by_tag_gbps.get("long", 0.0),
+        mixed.throughput_by_tag_gbps.get("short", 0.0),
+    )
+    return table
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _results()
+    return {
+        "fig11a": fig11a(shared),
+        "fig11b": fig11b(shared),
+        "fig11_isolation": isolation_comparison(),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

@@ -1,0 +1,71 @@
+"""Fig 12: impact of DCA (DDIO) and the IOMMU on single-flow performance
+(§3.8, §3.9).
+
+Disabling DCA forces every receiver copy to miss L3; enabling the IOMMU adds
+two per-page operations (map on allocation, unmap after DMA) that blow up the
+memory-management share of CPU at both ends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import ExperimentConfig, HostConfig, OptimizationConfig
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import pct, run
+
+CONFIGS: List[Tuple[str, HostConfig]] = [
+    ("Default", HostConfig()),
+    ("DCA Disabled", HostConfig(dca_enabled=False)),
+    ("IOMMU Enabled", HostConfig(iommu_enabled=True)),
+]
+
+
+def _results() -> List[Tuple[str, ExperimentResult]]:
+    return [(label, run(ExperimentConfig(host=host))) for label, host in CONFIGS]
+
+
+def fig12a() -> Table:
+    """Throughput-per-core per optimization ladder for each host config."""
+    table = Table(
+        "Fig 12a: throughput-per-core (Gbps): default vs DCA off vs IOMMU on",
+        ["host_config", "opt_config", "thpt_per_core_gbps", "receiver_miss_rate"],
+    )
+    for host_label, host in CONFIGS:
+        for opt_label, opts in OptimizationConfig.incremental_ladder():
+            result = run(ExperimentConfig(host=host, opts=opts))
+            table.add_row(
+                host_label,
+                opt_label,
+                result.throughput_per_core_gbps,
+                pct(result.receiver_cache_miss_rate),
+            )
+    return table
+
+
+def fig12b(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    return render_breakdown_table(
+        "Fig 12b: sender CPU breakdown",
+        [(label, r.sender_breakdown) for label, r in results],
+    )
+
+
+def fig12c(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    return render_breakdown_table(
+        "Fig 12c: receiver CPU breakdown",
+        [(label, r.receiver_breakdown) for label, r in results],
+    )
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _results()
+    return {"fig12a": fig12a(), "fig12b": fig12b(shared), "fig12c": fig12c(shared)}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

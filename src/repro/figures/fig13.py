@@ -1,0 +1,77 @@
+"""Fig 13: impact of the congestion control protocol (§3.10).
+
+CUBIC, BBR and DCTCP are all sender-driven, so the receiver — the actual
+bottleneck — behaves identically and throughput-per-core barely moves. BBR's
+signature is extra sender-side scheduling from fq pacing-timer wakeups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import CongestionControl, ExperimentConfig, LinkConfig, TcpConfig
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import run
+
+PROTOCOLS = (
+    CongestionControl.CUBIC,
+    CongestionControl.BBR,
+    CongestionControl.DCTCP,
+)
+
+
+def _config(cc: CongestionControl) -> ExperimentConfig:
+    link = LinkConfig()
+    if cc is CongestionControl.DCTCP:
+        # DCTCP needs an ECN-marking switch in the path.
+        link = LinkConfig(has_switch=True)
+    return ExperimentConfig(tcp=TcpConfig(congestion_control=cc), link=link)
+
+
+def _results() -> List[Tuple[str, ExperimentResult]]:
+    return [(cc.value, run(_config(cc))) for cc in PROTOCOLS]
+
+
+def fig13a(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    table = Table(
+        "Fig 13a: throughput-per-core (Gbps) per congestion control",
+        ["protocol", "thpt_per_core_gbps", "total_thpt_gbps"],
+    )
+    for label, result in results:
+        table.add_row(
+            label, result.throughput_per_core_gbps, result.total_throughput_gbps
+        )
+    return table
+
+
+def fig13b(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    return render_breakdown_table(
+        "Fig 13b: sender CPU breakdown per congestion control",
+        [(label, r.sender_breakdown) for label, r in results],
+    )
+
+
+def fig13c(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
+    results = results or _results()
+    return render_breakdown_table(
+        "Fig 13c: receiver CPU breakdown per congestion control",
+        [(label, r.receiver_breakdown) for label, r in results],
+    )
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _results()
+    return {
+        "fig13a": fig13a(shared),
+        "fig13b": fig13b(shared),
+        "fig13c": fig13c(shared),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

@@ -1,0 +1,40 @@
+"""Fig 4: single flow with the application on a NIC-remote NUMA node (§3.1).
+
+DCA cannot push DMA'd frames into a remote node's L3, so every copy byte
+misses; throughput-per-core drops ~20% relative to the NIC-local placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import ExperimentConfig, NumaPolicy
+from ..core.report import Table
+from ..core.results import ExperimentResult
+from .base import pct, run
+
+
+def results() -> Dict[str, ExperimentResult]:
+    return {
+        "NIC-local NUMA": run(ExperimentConfig()),
+        "NIC-remote NUMA": run(
+            ExperimentConfig(numa_policy=NumaPolicy.NIC_REMOTE)
+        ),
+    }
+
+
+def fig4(data: Dict[str, ExperimentResult] = None) -> Table:
+    data = data or results()
+    table = Table(
+        "Fig 4: single flow on NIC-local vs NIC-remote NUMA node",
+        ["placement", "thpt_per_core_gbps", "receiver_miss_rate"],
+    )
+    for label, result in data.items():
+        table.add_row(
+            label, result.throughput_per_core_gbps, pct(result.receiver_cache_miss_rate)
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(fig4().render())

@@ -1,0 +1,72 @@
+"""Fig 5: one-to-one traffic pattern, 1..24 flows (§3.2).
+
+The network saturates around 8 flows; throughput-per-core keeps dropping as
+flows are added because every optimization loses effectiveness (aRFS cache
+locality, GRO batching) and scheduling overheads rise while memory-management
+overheads fall (pageset recycling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import ExperimentConfig, OptimizationConfig, TrafficPattern
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import run
+
+FLOW_COUNTS = (1, 8, 16, 24)
+
+
+def _config(flows: int, opts: OptimizationConfig) -> ExperimentConfig:
+    return ExperimentConfig(
+        pattern=TrafficPattern.ONE_TO_ONE, num_flows=flows, opts=opts
+    )
+
+
+def _all_opt_results(flows=FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
+    return [(n, run(_config(n, OptimizationConfig.all()))) for n in flows]
+
+
+def fig5a(flows: Tuple[int, ...] = FLOW_COUNTS) -> Table:
+    """Throughput-per-core per optimization column and flow count."""
+    table = Table(
+        "Fig 5a: one-to-one throughput-per-core (Gbps)",
+        ["flows", "config", "thpt_per_core_gbps", "total_thpt_gbps"],
+    )
+    for n in flows:
+        for label, opts in OptimizationConfig.incremental_ladder():
+            result = run(_config(n, opts))
+            table.add_row(
+                n, label, result.throughput_per_core_gbps, result.total_throughput_gbps
+            )
+    return table
+
+
+def fig5b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Sender CPU breakdown vs number of flows (all optimizations on)."""
+    results = results or _all_opt_results()
+    return render_breakdown_table(
+        "Fig 5b: one-to-one sender CPU breakdown",
+        [(f"{n} flows", r.sender_breakdown) for n, r in results],
+    )
+
+
+def fig5c(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Receiver CPU breakdown vs number of flows (all optimizations on)."""
+    results = results or _all_opt_results()
+    return render_breakdown_table(
+        "Fig 5c: one-to-one receiver CPU breakdown",
+        [(f"{n} flows", r.receiver_breakdown) for n, r in results],
+    )
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _all_opt_results()
+    return {"fig5a": fig5a(), "fig5b": fig5b(shared), "fig5c": fig5c(shared)}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

@@ -1,0 +1,78 @@
+"""Fig 6: incast traffic pattern, 1..24 flows into one receiver core (§3.3).
+
+Multiple flows share the receiver core's L3 slice, so per-byte copy costs
+grow with the number of flows (cache miss rate climbs); the CPU breakdown
+itself barely changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import ExperimentConfig, OptimizationConfig, TrafficPattern
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import pct, run
+
+FLOW_COUNTS = (1, 8, 16, 24)
+
+
+def _config(flows: int, opts: OptimizationConfig = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        pattern=TrafficPattern.INCAST,
+        num_flows=flows,
+        opts=opts or OptimizationConfig.all(),
+    )
+
+
+def _all_opt_results(flows=FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
+    return [(n, run(_config(n))) for n in flows]
+
+
+def fig6a(flows: Tuple[int, ...] = FLOW_COUNTS) -> Table:
+    """Throughput-per-core per optimization column and flow count."""
+    table = Table(
+        "Fig 6a: incast throughput-per-core (Gbps)",
+        ["flows", "config", "thpt_per_core_gbps", "total_thpt_gbps"],
+    )
+    for n in flows:
+        for label, opts in OptimizationConfig.incremental_ladder():
+            result = run(_config(n, opts))
+            table.add_row(
+                n, label, result.throughput_per_core_gbps, result.total_throughput_gbps
+            )
+    return table
+
+
+def fig6b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Receiver CPU breakdown vs flows (all optimizations on)."""
+    results = results or _all_opt_results()
+    return render_breakdown_table(
+        "Fig 6b: incast receiver CPU breakdown",
+        [(f"{n} flows", r.receiver_breakdown) for n, r in results],
+    )
+
+
+def fig6c(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Receiver L3 miss rate and throughput-per-core vs flows."""
+    results = results or _all_opt_results()
+    table = Table(
+        "Fig 6c: incast receiver cache miss rate vs flows",
+        ["flows", "thpt_per_core_gbps", "receiver_miss_rate"],
+    )
+    for n, result in results:
+        table.add_row(
+            n, result.throughput_per_core_gbps, pct(result.receiver_cache_miss_rate)
+        )
+    return table
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _all_opt_results()
+    return {"fig6a": fig6a(), "fig6b": fig6b(shared), "fig6c": fig6c(shared)}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

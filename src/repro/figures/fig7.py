@@ -1,0 +1,84 @@
+"""Fig 7: outcast traffic pattern — one sender core, 1..24 receivers (§3.4).
+
+The metric is throughput-per-*sender*-core: the sender-side pipeline is much
+more CPU-efficient than the receiver's (TSO is free, the cache is warm),
+peaking near ~89Gbps from a single core around 8 flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..config import ExperimentConfig, OptimizationConfig, TrafficPattern
+from ..core.report import Table, render_breakdown_table
+from ..core.results import ExperimentResult
+from .base import pct, run
+
+FLOW_COUNTS = (1, 8, 16, 24)
+
+
+def _config(flows: int, opts: OptimizationConfig = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        pattern=TrafficPattern.OUTCAST,
+        num_flows=flows,
+        opts=opts or OptimizationConfig.all(),
+    )
+
+
+def _all_opt_results(flows=FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
+    return [(n, run(_config(n))) for n in flows]
+
+
+def fig7a(flows: Tuple[int, ...] = FLOW_COUNTS) -> Table:
+    """Throughput-per-sender-core per optimization column and flow count."""
+    table = Table(
+        "Fig 7a: outcast throughput-per-sender-core (Gbps)",
+        ["flows", "config", "thpt_per_sender_core_gbps", "total_thpt_gbps"],
+    )
+    for n in flows:
+        for label, opts in OptimizationConfig.incremental_ladder():
+            result = run(_config(n, opts))
+            table.add_row(
+                n,
+                label,
+                result.throughput_per_sender_core_gbps,
+                result.total_throughput_gbps,
+            )
+    return table
+
+
+def fig7b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Sender CPU breakdown vs flows (all optimizations on)."""
+    results = results or _all_opt_results()
+    return render_breakdown_table(
+        "Fig 7b: outcast sender CPU breakdown",
+        [(f"{n} flows", r.sender_breakdown) for n, r in results],
+    )
+
+
+def fig7c(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
+    """Sender/receiver utilization and sender-side cache miss rate vs flows."""
+    results = results or _all_opt_results()
+    table = Table(
+        "Fig 7c: outcast CPU utilization (%) and sender cache miss rate",
+        ["flows", "sender_util_pct", "receiver_util_pct", "sender_miss_rate"],
+    )
+    for n, result in results:
+        table.add_row(
+            n,
+            100 * result.sender_utilization_cores,
+            100 * result.receiver_utilization_cores,
+            pct(result.sender_cache_miss_rate),
+        )
+    return table
+
+
+def generate_all() -> Dict[str, Table]:
+    shared = _all_opt_results()
+    return {"fig7a": fig7a(), "fig7b": fig7b(shared), "fig7c": fig7c(shared)}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in generate_all().values():
+        print(table.render())
+        print()

@@ -1,0 +1,135 @@
+"""Full-duplex 100Gbps link with optional in-path switch (§3.6).
+
+One :class:`Link` instance models one direction. Frames are serialized at
+link rate; when a switch is configured it forwards with a small delay and can
+drop frames uniformly at random (the paper programs its switch to do exactly
+this) and ECN-marks frames when the sender-side backlog exceeds a threshold
+(used by DCTCP).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.engine import Engine
+from ..units import transmission_time_ns
+
+
+class Frame:
+    """One on-the-wire Ethernet frame (data segment or pure ACK)."""
+
+    __slots__ = (
+        "flow_id",
+        "kind",
+        "seq",
+        "payload_bytes",
+        "wire_bytes",
+        "ack",
+        "ecn_marked",
+    )
+
+    KIND_DATA = "data"
+    KIND_ACK = "ack"
+
+    def __init__(
+        self,
+        flow_id: int,
+        kind: str,
+        seq: int,
+        payload_bytes: int,
+        wire_bytes: int,
+        ack: Optional[object] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.kind = kind
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.wire_bytes = wire_bytes
+        self.ack = ack
+        self.ecn_marked = False
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == Frame.KIND_DATA
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Frame flow={self.flow_id} {self.kind} seq={self.seq} "
+            f"len={self.payload_bytes}>"
+        )
+
+
+class Link:
+    """One direction of the host-to-host path."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        bandwidth_bps: float,
+        propagation_ns: int,
+        rng: random.Random,
+        loss_rate: float = 0.0,
+        has_switch: bool = False,
+        switch_delay_ns: int = 0,
+        ecn_threshold_bytes: int = 0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_ns = propagation_ns
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.has_switch = has_switch
+        self.switch_delay_ns = switch_delay_ns
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self._free_at = 0
+        # statistics
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.frames_marked = 0
+        self.bytes_sent = 0
+
+    def backlog_bytes(self) -> int:
+        """Bytes queued for serialization right now (virtual-output queue)."""
+        pending_ns = max(0, self._free_at - self.engine.now)
+        return int(pending_ns * self.bandwidth_bps / 8e9)
+
+    def transmit(self, frames: Sequence[Frame], deliver: Callable[[List[Frame]], None]) -> None:
+        """Serialize ``frames`` and deliver survivors to the far end.
+
+        The whole burst is delivered in one event at the time the *last* frame
+        finishes serialization (plus propagation and switch forwarding); this
+        batches what would otherwise be one event per MTU frame without
+        changing steady-state rates.
+        """
+        if not frames:
+            return
+        now = self.engine.now
+        start = max(now, self._free_at)
+        t = start
+        delivered: List[Frame] = []
+        drop = self.has_switch and self.loss_rate > 0
+        mark = self.has_switch and self.ecn_threshold_bytes > 0
+        for frame in frames:
+            t += transmission_time_ns(frame.wire_bytes, self.bandwidth_bps)
+            self.frames_sent += 1
+            self.bytes_sent += frame.wire_bytes
+            if drop and self.rng.random() < self.loss_rate:
+                self.frames_dropped += 1
+                continue
+            # queue this frame observed = everything serialized ahead of it
+            queued_bytes = int((t - now) * self.bandwidth_bps / 8e9)
+            if mark and queued_bytes > self.ecn_threshold_bytes:
+                frame.ecn_marked = True
+                self.frames_marked += 1
+            delivered.append(frame)
+        self._free_at = t
+        if delivered:
+            arrival = t + self.propagation_ns
+            if self.has_switch:
+                arrival += self.switch_delay_ns
+            self.engine.schedule_at(arrival, deliver, delivered)

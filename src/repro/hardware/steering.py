@@ -1,0 +1,81 @@
+"""Receiver-side flow steering (paper Table 2).
+
+The NIC picks the Rx queue (and hence the IRQ/softirq core) for each incoming
+frame. Four mechanisms are modeled:
+
+* **RSS** — hash of the flow 4-tuple selects a queue (hardware).
+* **RPS** — software analogue of RSS (queue by hash; the later TCP processing
+  stays on the hash-selected core).
+* **RFS** — software steering towards the application's core.
+* **aRFS** — the NIC itself steers towards the application's core, using a
+  finite steering table; when the table is full, flows fall back to RSS
+  (this is why the paper could not pin 576 all-to-all flows, §3.5).
+
+Experiments may additionally pin flows explicitly (the paper's deterministic
+worst-case IRQ mapping when aRFS is off).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..config import SteeringMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import RxQueue
+
+
+class SteeringEngine:
+    """Maps flows to NIC Rx queues."""
+
+    def __init__(
+        self,
+        mode: SteeringMode,
+        rng: random.Random,
+        arfs_capacity: int,
+    ) -> None:
+        self.mode = mode
+        self.rng = rng
+        self.arfs_capacity = arfs_capacity
+        self._queues: List["RxQueue"] = []
+        self._arfs_table: Dict[int, "RxQueue"] = {}
+        self._pinned: Dict[int, "RxQueue"] = {}
+        self._hash_salt = rng.getrandbits(32)
+        self.arfs_install_failures = 0
+
+    def register_queue(self, queue: "RxQueue") -> None:
+        self._queues.append(queue)
+
+    # --- configuration ----------------------------------------------------------
+
+    def install_arfs(self, flow_id: int, queue: "RxQueue") -> bool:
+        """Install an aRFS steering entry; fails when the NIC table is full."""
+        if flow_id in self._arfs_table:
+            self._arfs_table[flow_id] = queue
+            return True
+        if len(self._arfs_table) >= self.arfs_capacity:
+            self.arfs_install_failures += 1
+            return False
+        self._arfs_table[flow_id] = queue
+        return True
+
+    def pin_flow(self, flow_id: int, queue: "RxQueue") -> None:
+        """Explicitly pin a flow's IRQs to one queue (ethtool-style)."""
+        self._pinned[flow_id] = queue
+
+    # --- data path -----------------------------------------------------------------
+
+    def queue_for(self, flow_id: int) -> "RxQueue":
+        """Rx queue used for a frame of ``flow_id``."""
+        if not self._queues:
+            raise RuntimeError("no Rx queues registered")
+        queue = self._arfs_table.get(flow_id)
+        if queue is not None:
+            return queue
+        queue = self._pinned.get(flow_id)
+        if queue is not None:
+            return queue
+        # RSS/RPS fallback: stable 4-tuple hash.
+        index = hash((flow_id, self._hash_salt)) % len(self._queues)
+        return self._queues[index]

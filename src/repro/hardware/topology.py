@@ -1,0 +1,76 @@
+"""NUMA topology of a host (paper §2.2: 4 sockets x 6 cores, NIC on socket 0)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cpu import Core
+
+
+class NumaNode:
+    """One NUMA node: a set of cores sharing an L3 cache and local DRAM."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.cores: List["Core"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NumaNode {self.node_id} cores={[c.core_id for c in self.cores]}>"
+
+
+class Topology:
+    """Core/NUMA layout of a host."""
+
+    def __init__(self, num_nodes: int, cores_per_node: int, nic_node: int) -> None:
+        if not 0 <= nic_node < num_nodes:
+            raise ValueError(f"nic_node {nic_node} out of range for {num_nodes} nodes")
+        self.num_nodes = num_nodes
+        self.cores_per_node = cores_per_node
+        self.nic_node_id = nic_node
+        self.nodes = [NumaNode(i) for i in range(num_nodes)]
+        self.cores: List["Core"] = []
+
+    def register_core(self, core: "Core") -> None:
+        """Attach a constructed core to its node. Called by the host builder."""
+        self.nodes[core.numa_node].cores.append(core)
+        self.cores.append(core)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    def node_of_core(self, core_id: int) -> int:
+        """NUMA node id of a core id (cores are numbered node-major)."""
+        return core_id // self.cores_per_node
+
+    def cores_nic_local_first(self) -> List["Core"]:
+        """Cores ordered NIC-local node first, then remaining nodes in order.
+
+        This is the fill order the paper uses when scaling the number of
+        flows: the first 6 flows land on the NIC-local node, later ones spill
+        to NIC-remote nodes (§3.2).
+        """
+        local = [c for c in self.cores if c.numa_node == self.nic_node_id]
+        remote = [c for c in self.cores if c.numa_node != self.nic_node_id]
+        return local + remote
+
+    def cores_nic_remote_first(self) -> List["Core"]:
+        """Cores ordered with NIC-remote nodes first (Fig 4 / Fig 10c placement)."""
+        local = [c for c in self.cores if c.numa_node == self.nic_node_id]
+        remote = [c for c in self.cores if c.numa_node != self.nic_node_id]
+        return remote + local
+
+    def remote_core_for(self, core: "Core") -> "Core":
+        """A deterministic core on a *different* NUMA node than ``core``.
+
+        Used for the paper's worst-case IRQ mapping when aRFS is disabled:
+        IRQs are explicitly pinned to a core on a NUMA node different from the
+        application core (§3.1).
+        """
+        for node in self.nodes:
+            if node.node_id == core.numa_node:
+                continue
+            for candidate in node.cores:
+                return candidate
+        raise ValueError("topology has a single NUMA node; no remote core exists")

@@ -1,0 +1,9 @@
+"""Linux kernel network stack substrate: skbs, memory, GRO/GSO, NAPI,
+sockets, TCP, scheduling, and the per-host data-path wiring."""
+
+from .skb import Skb
+from .mem import PageAllocator
+from .gro import GroEngine
+from .host import Host
+
+__all__ = ["Skb", "PageAllocator", "GroEngine", "Host"]

@@ -1,0 +1,50 @@
+"""Segmentation offload on the transmit side (GSO/TSO, §2.1).
+
+A sender skb carries up to 64KB of payload. Before hitting the wire it must
+become MTU-sized frames. Three regimes:
+
+* **TSO** — the NIC segments in hardware; the host posts one large skb and
+  pays no per-frame CPU cost.
+* **GSO** — the network subsystem segments in software just before the
+  driver; the host pays a per-produced-segment cost.
+* **neither** — TCP itself emits MTU-sized skbs, so every layer above the
+  driver pays per-MTU costs (the paper's "No Opt." column; footnote 5 notes
+  GSO had to be explicitly disabled for this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..costs.model import CostModel
+
+ChargeItems = List[Tuple[str, float]]
+
+
+def frames_for(payload_bytes: int, mss: int) -> int:
+    """Number of MTU-sized frames needed for ``payload_bytes``."""
+    if payload_bytes <= 0:
+        return 0
+    return (payload_bytes + mss - 1) // mss
+
+
+def segmentation_charges(
+    payload_bytes: int, mss: int, tso: bool, costs: CostModel
+) -> Tuple[ChargeItems, int]:
+    """CPU charges to segment one skb of ``payload_bytes`` into MTU frames.
+
+    Returns ``(charge_items, nframes)``. With TSO the host pays only the
+    per-frame descriptor posting; with software GSO it additionally pays
+    segmentation and per-segment skb bookkeeping.
+    """
+    nframes = frames_for(payload_bytes, mss)
+    if nframes <= 1:
+        return [], max(1, nframes)
+    if tso:
+        return [], nframes
+    items: ChargeItems = [
+        ("gso_segment", costs.gso_segment_per_frame * nframes),
+        ("skb_segment", costs.skb_segment_per_seg * nframes),
+        ("mlx5e_xmit", costs.driver_tx_per_frame * nframes),
+    ]
+    return items, nframes

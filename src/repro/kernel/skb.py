@@ -1,0 +1,62 @@
+"""Socket buffer (skb) model.
+
+An :class:`Skb` carries metadata only — payloads are byte counts plus cache
+*regions* (references to where the NIC DMA'd the data), mirroring how the real
+stack moves pointers rather than bytes (§2.1: payload is copied exactly once,
+between user and kernel space).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Skb:
+    """A socket buffer: one unit of in-kernel packet processing."""
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "payload_bytes",
+        "nframes",
+        "pages",
+        "page_node",
+        "regions",
+        "napi_ns",
+        "is_retransmit",
+        "ecn",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        payload_bytes: int,
+        nframes: int = 1,
+        pages: int = 0,
+        page_node: int = 0,
+        regions: Optional[List[Tuple[int, int]]] = None,
+        napi_ns: Optional[int] = None,
+        is_retransmit: bool = False,
+    ) -> None:
+        self.flow_id = flow_id
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.nframes = nframes
+        self.pages = pages
+        self.page_node = page_node
+        # (region_id, nbytes) pairs naming the DMA regions backing the payload.
+        self.regions = regions if regions is not None else []
+        self.napi_ns = napi_ns
+        self.is_retransmit = is_retransmit
+        self.ecn = False
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Skb flow={self.flow_id} seq={self.seq} len={self.payload_bytes} "
+            f"frames={self.nframes}>"
+        )

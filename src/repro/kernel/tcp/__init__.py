@@ -1,0 +1,6 @@
+"""TCP: endpoints, transmit/receive halves, and congestion control."""
+
+from .endpoint import TcpEndpoint
+from .ack import AckInfo
+
+__all__ = ["TcpEndpoint", "AckInfo"]

@@ -1,0 +1,27 @@
+"""ACK metadata carried by pure-ACK frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class AckInfo:
+    """Contents of one (possibly duplicate) acknowledgment.
+
+    ``holes`` carries the receiver's view of missing ranges (SACK): the
+    sender uses it to retransmit every reported hole instead of one segment
+    per RTT (Linux's SACK-based recovery).
+    """
+
+    ack_seq: int                 # cumulative ack: next byte expected
+    window_bytes: int            # advertised receive window
+    dup: bool = False            # duplicate ack (out-of-order data seen)
+    holes: List[Tuple[int, int]] = field(default_factory=list)
+    ecn_echo: bool = False       # ECN congestion-experienced echo
+    ts_echo_ns: Optional[int] = None  # echoed send timestamp for RTT sampling
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "dup" if self.dup else "ack"
+        return f"<{kind} {self.ack_seq} win={self.window_bytes}>"

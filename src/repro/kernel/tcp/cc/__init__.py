@@ -1,0 +1,35 @@
+"""Congestion control algorithms (§3.10: CUBIC default, plus BBR and DCTCP)."""
+
+from .base import CongestionController
+from .reno import RenoCC
+from .cubic import CubicCC
+from .dctcp import DctcpCC
+from .bbr import BbrCC
+from ....config import CongestionControl
+
+
+def make_congestion_controller(
+    algorithm: CongestionControl, mss: int, init_cwnd_segments: int
+) -> CongestionController:
+    """Instantiate the configured congestion controller."""
+    classes = {
+        CongestionControl.RENO: RenoCC,
+        CongestionControl.CUBIC: CubicCC,
+        CongestionControl.DCTCP: DctcpCC,
+        CongestionControl.BBR: BbrCC,
+    }
+    try:
+        cls = classes[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown congestion control: {algorithm}") from None
+    return cls(mss, init_cwnd_segments)
+
+
+__all__ = [
+    "CongestionController",
+    "RenoCC",
+    "CubicCC",
+    "DctcpCC",
+    "BbrCC",
+    "make_congestion_controller",
+]

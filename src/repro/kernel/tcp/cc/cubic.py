@@ -1,0 +1,80 @@
+"""TCP CUBIC (Linux default; RFC 8312 shape).
+
+Window growth in congestion avoidance follows the cubic function
+``W(t) = C * (t - K)^3 + W_max`` of the time since the last loss, with
+fast convergence on repeated losses.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController
+
+#: CUBIC scaling constant (RFC 8312), in (segments/second^3) units.
+CUBIC_C = 0.4
+#: Multiplicative decrease factor.
+CUBIC_BETA = 0.7
+
+
+class CubicCC(CongestionController):
+    """CUBIC congestion control."""
+
+    def __init__(self, mss: int, init_cwnd_segments: int) -> None:
+        super().__init__(mss, init_cwnd_segments)
+        self._w_max_segments = 0.0
+        self._epoch_start_ns: int = -1
+        self._k_seconds = 0.0
+
+    # --- internals --------------------------------------------------------------
+
+    def _cubic_window_segments(self, now_ns: int) -> float:
+        if self._epoch_start_ns < 0:
+            self._epoch_start_ns = now_ns
+            cwnd_seg = self.cwnd_bytes / self.mss
+            if cwnd_seg < self._w_max_segments:
+                self._k_seconds = ((self._w_max_segments - cwnd_seg) / CUBIC_C) ** (1 / 3)
+            else:
+                self._k_seconds = 0.0
+                self._w_max_segments = cwnd_seg
+        t = (now_ns - self._epoch_start_ns) / 1e9
+        return CUBIC_C * (t - self._k_seconds) ** 3 + self._w_max_segments
+
+    # --- hooks ---------------------------------------------------------------------
+
+    def on_ack(self, acked_bytes: int, rtt_ns: int, ecn_echo: bool, now_ns: int) -> None:
+        if self.in_recovery:
+            return
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            self._clamp()
+            return
+        target_segments = self._cubic_window_segments(now_ns)
+        cwnd_segments = self.cwnd_bytes / self.mss
+        if target_segments > cwnd_segments:
+            # approach the cubic target over one RTT
+            self.cwnd_bytes += int(
+                self.mss * (target_segments - cwnd_segments) / max(cwnd_segments, 1.0)
+                * (acked_bytes / self.mss)
+            )
+        else:
+            # TCP-friendly region (RFC 8312 §4.2): grow about
+            # 3(1-beta)/(1+beta) ~ 0.53 MSS per RTT
+            self.cwnd_bytes += int(acked_bytes / max(cwnd_segments, 1.0) * 0.53)
+        self._clamp()
+
+    def on_loss(self, now_ns: int) -> None:
+        cwnd_seg = self.cwnd_bytes / self.mss
+        if cwnd_seg < self._w_max_segments:
+            # fast convergence
+            self._w_max_segments = cwnd_seg * (1 + CUBIC_BETA) / 2
+        else:
+            self._w_max_segments = cwnd_seg
+        self.ssthresh_bytes = max(2 * self.mss, int(self.cwnd_bytes * CUBIC_BETA))
+        # never *grow* the window on a loss signal
+        self.cwnd_bytes = min(self.cwnd_bytes, self.ssthresh_bytes)
+        self._epoch_start_ns = -1
+        self.in_recovery = True
+        self._clamp()
+
+    def on_timeout(self, now_ns: int) -> None:
+        super().on_timeout(now_ns)
+        self._epoch_start_ns = -1

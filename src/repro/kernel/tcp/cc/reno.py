@@ -1,0 +1,32 @@
+"""TCP NewReno congestion control: slow start + AIMD."""
+
+from __future__ import annotations
+
+from .base import CongestionController
+
+
+class RenoCC(CongestionController):
+    """Classic AIMD: +1 MSS per RTT in congestion avoidance, halve on loss."""
+
+    def __init__(self, mss: int, init_cwnd_segments: int) -> None:
+        super().__init__(mss, init_cwnd_segments)
+        self._avoidance_acc = 0  # bytes acked since last cwnd increment
+
+    def on_ack(self, acked_bytes: int, rtt_ns: int, ecn_echo: bool, now_ns: int) -> None:
+        if self.in_recovery:
+            return
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+        else:
+            self._avoidance_acc += acked_bytes
+            if self._avoidance_acc >= self.cwnd_bytes:
+                self._avoidance_acc -= self.cwnd_bytes
+                self.cwnd_bytes += self.mss
+        self._clamp()
+
+    def on_loss(self, now_ns: int) -> None:
+        self.ssthresh_bytes = max(2 * self.mss, self.cwnd_bytes // 2)
+        # never *grow* the window on a loss signal
+        self.cwnd_bytes = min(self.cwnd_bytes, self.ssthresh_bytes)
+        self.in_recovery = True
+        self._clamp()

@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine."""
+
+from .engine import Engine, Event
+from .rng import RngStreams
+
+__all__ = ["Engine", "Event", "RngStreams"]

@@ -1,0 +1,14 @@
+"""Workloads: application bodies (iperf/netperf-like) and traffic patterns."""
+
+from .flows import FlowSpec
+from .patterns import build_flow_specs
+from .apps import streaming_sender, streaming_receiver, rpc_client, rpc_server
+
+__all__ = [
+    "FlowSpec",
+    "build_flow_specs",
+    "streaming_sender",
+    "streaming_receiver",
+    "rpc_client",
+    "rpc_server",
+]

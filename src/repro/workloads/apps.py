@@ -1,0 +1,71 @@
+"""Application bodies.
+
+These mirror the paper's tools (§2.2): iperf-style streaming (one-directional
+bulk transfer with large writes/reads) and netperf-style ping-pong RPC with
+equal request/response sizes. Both do minimal application-level processing so
+measurements isolate the network stack.
+
+Each function returns a ``body_factory`` suitable for
+:class:`repro.kernel.sched.AppThread`: a generator yielding syscall ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Sequence
+
+from ..kernel.syscall import RecvOp, SendOp
+from ..kernel.tcp.endpoint import TcpEndpoint
+
+BodyFactory = Callable[[object], Generator]
+
+
+def streaming_sender(endpoint: TcpEndpoint, write_bytes: int) -> BodyFactory:
+    """iperf sender: write ``write_bytes`` forever."""
+
+    def body(thread) -> Generator:
+        while True:
+            yield SendOp(endpoint, write_bytes)
+
+    return body
+
+
+def streaming_receiver(endpoint: TcpEndpoint, read_bytes: int) -> BodyFactory:
+    """iperf receiver: drain the socket forever."""
+
+    def body(thread) -> Generator:
+        while True:
+            yield RecvOp([endpoint], read_bytes)
+
+    return body
+
+
+def rpc_client(endpoint: TcpEndpoint, rpc_bytes: int) -> BodyFactory:
+    """netperf-style client: send a request, wait for the full response."""
+
+    def body(thread) -> Generator:
+        while True:
+            yield SendOp(endpoint, rpc_bytes)
+            received = 0
+            while received < rpc_bytes:
+                _, nbytes = yield RecvOp([endpoint], rpc_bytes - received)
+                received += nbytes
+
+    return body
+
+
+def rpc_server(endpoints: Sequence[TcpEndpoint], rpc_bytes: int) -> BodyFactory:
+    """RPC server multiplexing any number of ping-pong connections in one
+    thread (the Fig-10 receiver application)."""
+
+    eps: List[TcpEndpoint] = list(endpoints)
+
+    def body(thread) -> Generator:
+        progress = {ep.flow_id: 0 for ep in eps}
+        while True:
+            ep, nbytes = yield RecvOp(eps, rpc_bytes)
+            progress[ep.flow_id] += nbytes
+            if progress[ep.flow_id] >= rpc_bytes:
+                progress[ep.flow_id] = 0
+                yield SendOp(ep, rpc_bytes)
+
+    return body

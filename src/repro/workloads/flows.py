@@ -1,0 +1,27 @@
+"""Flow descriptors produced by the traffic-pattern builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One connection of an experiment.
+
+    ``sender_rank``/``receiver_rank`` index into each host's core placement
+    order (NIC-local node first by default), not raw core ids; the experiment
+    resolves them against the configured NUMA policy.
+    """
+
+    flow_id: int
+    kind: str  # "stream" (iperf-like) or "rpc" (netperf ping-pong)
+    sender_rank: int
+    receiver_rank: int
+    tag: str = "long"
+    #: rpc flows whose server side is multiplexed into one application thread
+    shared_server_thread: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stream", "rpc"):
+            raise ValueError(f"unknown flow kind {self.kind!r}")

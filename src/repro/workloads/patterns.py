@@ -1,0 +1,58 @@
+"""Traffic patterns (paper Fig 2, plus the §3.7 short-flow scenarios).
+
+Each builder returns the :class:`FlowSpec` list for one experiment:
+
+* **single** — one flow, sender core 0 → receiver core 0.
+* **one-to-one** — flow *i*: sender core *i* → receiver core *i*.
+* **incast** — every sender core → receiver core 0.
+* **outcast** — sender core 0 → every receiver core.
+* **all-to-all** — x sender cores × x receiver cores (x² flows).
+* **rpc-incast** — N ping-pong clients (one per sender core) → a single
+  server application thread on receiver core 0 (Fig 10's 16:1 setup).
+* **mixed** — one long flow plus N short RPC flows, all application threads
+  sharing core 0 on both hosts (Fig 11).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import ExperimentConfig, TrafficPattern
+from .flows import FlowSpec
+
+
+def build_flow_specs(config: ExperimentConfig) -> List[FlowSpec]:
+    """Flow list for ``config`` (see module docstring for the pattern map)."""
+    n = config.num_flows
+    pattern = config.pattern
+    if pattern is TrafficPattern.SINGLE:
+        return [FlowSpec(1, "stream", 0, 0)]
+    if pattern is TrafficPattern.ONE_TO_ONE:
+        return [FlowSpec(i + 1, "stream", i, i) for i in range(n)]
+    if pattern is TrafficPattern.INCAST:
+        return [FlowSpec(i + 1, "stream", i, 0) for i in range(n)]
+    if pattern is TrafficPattern.OUTCAST:
+        return [FlowSpec(i + 1, "stream", 0, i) for i in range(n)]
+    if pattern is TrafficPattern.ALL_TO_ALL:
+        specs = []
+        flow_id = 1
+        for i in range(n):
+            for j in range(n):
+                specs.append(FlowSpec(flow_id, "stream", i, j))
+                flow_id += 1
+        return specs
+    if pattern is TrafficPattern.RPC_INCAST:
+        return [
+            FlowSpec(i + 1, "rpc", i, 0, tag="rpc", shared_server_thread=True)
+            for i in range(n)
+        ]
+    if pattern is TrafficPattern.MIXED:
+        specs = []
+        if config.workload.include_long_flow:
+            specs.append(FlowSpec(1, "stream", 0, 0, tag="long"))
+        for i in range(config.workload.num_rpc_flows):
+            specs.append(FlowSpec(i + 2, "rpc", 0, 0, tag="short"))
+        if not specs:
+            raise ValueError("MIXED pattern with no long flow and no RPC flows")
+        return specs
+    raise ValueError(f"unknown traffic pattern: {pattern}")

@@ -1,0 +1,46 @@
+"""Shared fixtures for integration tests.
+
+Heavyweight scenario results are computed once per session and shared across
+the assertions that consume them.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, OptimizationConfig, TrafficPattern
+from repro.core.experiment import Experiment
+from repro.units import msec
+
+DURATION = msec(6)
+
+
+def run(config, warmup_ms=10):
+    return Experiment(
+        config.replace(duration_ns=DURATION, warmup_ns=msec(warmup_ms))
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def single_flow_result():
+    """The §3.1 baseline: single flow, all optimizations."""
+    return run(ExperimentConfig())
+
+
+@pytest.fixture(scope="session")
+def ladder_results():
+    """Fig 3a: the four incremental optimization columns."""
+    return {
+        label: run(ExperimentConfig(opts=opts))
+        for label, opts in OptimizationConfig.incremental_ladder()
+    }
+
+
+@pytest.fixture(scope="session")
+def incast_results():
+    """Fig 6: incast with 1 and 8 flows."""
+    return {
+        n: run(
+            ExperimentConfig(pattern=TrafficPattern.INCAST, num_flows=n),
+            warmup_ms=35,
+        )
+        for n in (1, 8)
+    }

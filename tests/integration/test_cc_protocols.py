@@ -1,0 +1,47 @@
+"""Integration tests for congestion-control protocols (Fig 13)."""
+
+import pytest
+
+from repro.config import CongestionControl, ExperimentConfig, LinkConfig, TcpConfig
+from repro.core.taxonomy import Category
+
+from .conftest import run
+
+
+@pytest.fixture(scope="module")
+def cc_results():
+    out = {}
+    for cc in (CongestionControl.CUBIC, CongestionControl.BBR, CongestionControl.DCTCP):
+        link = LinkConfig(has_switch=(cc is CongestionControl.DCTCP))
+        out[cc] = run(
+            ExperimentConfig(tcp=TcpConfig(congestion_control=cc), link=link),
+            warmup_ms=12,
+        )
+    return out
+
+
+def test_protocol_choice_barely_moves_throughput(cc_results):
+    """Fig 13a: receiver-side bottleneck makes protocols equivalent."""
+    values = [r.throughput_per_core_gbps for r in cc_results.values()]
+    assert max(values) / min(values) < 1.25
+
+
+def test_bbr_pacing_raises_sender_scheduling(cc_results):
+    """Fig 13b: fq pacing-timer wakeups are BBR's signature."""
+    bbr = cc_results[CongestionControl.BBR].sender_breakdown
+    cubic = cc_results[CongestionControl.CUBIC].sender_breakdown
+    assert bbr.fraction(Category.SCHED) > cubic.fraction(Category.SCHED) + 0.05
+
+
+def test_receiver_breakdowns_are_alike(cc_results):
+    """Fig 13c: sender-driven protocols share receiver-side behaviour."""
+    copies = [
+        r.receiver_breakdown.fraction(Category.DATA_COPY)
+        for r in cc_results.values()
+    ]
+    assert max(copies) - min(copies) < 0.12
+
+
+def test_receiver_saturated_for_all_protocols(cc_results):
+    for result in cc_results.values():
+        assert result.receiver_utilization_cores > 0.85

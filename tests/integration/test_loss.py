@@ -1,0 +1,64 @@
+"""Integration tests for in-network congestion (Fig 9)."""
+
+import pytest
+
+from repro.config import ExperimentConfig, LinkConfig
+from repro.core.taxonomy import Category
+
+from .conftest import run
+
+
+@pytest.fixture(scope="module")
+def loss_results():
+    return {
+        p: run(
+            ExperimentConfig(link=LinkConfig(loss_rate=p, has_switch=True)),
+            warmup_ms=12,
+        )
+        for p in (0.0, 1.5e-3, 1.5e-2)
+    }
+
+
+def test_throughput_collapses_with_loss(loss_results):
+    assert (
+        loss_results[1.5e-2].total_throughput_gbps
+        < loss_results[1.5e-3].total_throughput_gbps
+        < loss_results[0.0].total_throughput_gbps
+    )
+
+
+def test_losses_cause_retransmissions(loss_results):
+    assert loss_results[0.0].retransmits == 0
+    assert loss_results[1.5e-2].retransmits > loss_results[1.5e-3].retransmits > 0
+
+
+def test_wire_drops_match_configured_rate(loss_results):
+    result = loss_results[1.5e-2]
+    assert result.wire_drops > 0
+
+
+def test_tcp_and_netdev_fractions_grow_with_loss(loss_results):
+    """Fig 9c/9d: ACK processing and retransmissions eat into data copy."""
+    clean = loss_results[0.0].receiver_breakdown
+    lossy = loss_results[1.5e-2].receiver_breakdown
+    assert lossy.fraction(Category.TCPIP) > clean.fraction(Category.TCPIP)
+    assert lossy.fraction(Category.NETDEV) > clean.fraction(Category.NETDEV)
+    assert lossy.fraction(Category.DATA_COPY) < clean.fraction(Category.DATA_COPY)
+
+
+def test_receiver_utilization_falls_with_loss(loss_results):
+    """Fig 9b: the receiver idles as the sender throttles."""
+    assert (
+        loss_results[1.5e-2].receiver_utilization_cores
+        < 0.7 * loss_results[0.0].receiver_utilization_cores
+    )
+
+
+def test_sender_receiver_gap_narrows(loss_results):
+    """Fig 9b: the sender does the retransmission heavy lifting."""
+    def gap(result):
+        return result.receiver_utilization_cores / max(
+            result.sender_utilization_cores, 1e-9
+        )
+
+    assert gap(loss_results[1.5e-2]) < gap(loss_results[0.0])

@@ -1,0 +1,70 @@
+"""Integration tests for NUMA placement (Fig 4), DCA and IOMMU (Fig 12)."""
+
+import pytest
+
+from repro.config import ExperimentConfig, HostConfig, NumaPolicy
+from repro.core.taxonomy import Category
+
+from .conftest import run
+
+
+@pytest.fixture(scope="module")
+def remote_numa_result():
+    return run(ExperimentConfig(numa_policy=NumaPolicy.NIC_REMOTE))
+
+
+@pytest.fixture(scope="module")
+def dca_off_result():
+    return run(ExperimentConfig(host=HostConfig(dca_enabled=False)))
+
+
+@pytest.fixture(scope="module")
+def iommu_result():
+    return run(ExperimentConfig(host=HostConfig(iommu_enabled=True)))
+
+
+def test_remote_numa_drops_throughput(single_flow_result, remote_numa_result):
+    """Paper: ~20% throughput-per-core drop on a NIC-remote node."""
+    ratio = (
+        remote_numa_result.throughput_per_core_gbps
+        / single_flow_result.throughput_per_core_gbps
+    )
+    assert 0.70 <= ratio <= 0.92
+
+
+def test_remote_numa_misses_everything(remote_numa_result):
+    """DCA cannot reach a remote node's L3 (§3.1, Fig 4)."""
+    assert remote_numa_result.receiver_cache_miss_rate > 0.95
+
+
+def test_dca_off_drops_throughput(single_flow_result, dca_off_result):
+    """Paper: ~19% degradation with DDIO disabled (§3.8)."""
+    ratio = (
+        dca_off_result.throughput_per_core_gbps
+        / single_flow_result.throughput_per_core_gbps
+    )
+    assert 0.70 <= ratio <= 0.92
+    assert dca_off_result.receiver_cache_miss_rate > 0.95
+
+
+def test_dca_off_does_not_shift_breakdown(single_flow_result, dca_off_result):
+    """Fig 12b/c: disabling DCA changes costs, not the category mix."""
+    for result in (single_flow_result, dca_off_result):
+        assert result.receiver_breakdown.top()[0] is Category.DATA_COPY
+
+
+def test_iommu_drops_throughput(single_flow_result, iommu_result):
+    """Paper: ~26% degradation with the IOMMU enabled (§3.9)."""
+    ratio = (
+        iommu_result.throughput_per_core_gbps
+        / single_flow_result.throughput_per_core_gbps
+    )
+    assert 0.60 <= ratio <= 0.85
+
+
+def test_iommu_inflates_memory_management(single_flow_result, iommu_result):
+    """Fig 12c: per-page map/unmap lands in the memory category (~30%)."""
+    base = single_flow_result.receiver_breakdown.fraction(Category.MEMORY)
+    with_iommu = iommu_result.receiver_breakdown.fraction(Category.MEMORY)
+    assert with_iommu > base + 0.10
+    assert with_iommu > 0.25

@@ -1,0 +1,51 @@
+"""Integration tests for Fig 3a's incremental optimization ladder."""
+
+from repro.core.taxonomy import Category
+
+
+def test_ladder_is_monotonically_increasing(ladder_results):
+    ordered = ["No Opt.", "+TSO/GRO", "+Jumbo", "+aRFS"]
+    values = [ladder_results[label].throughput_per_core_gbps for label in ordered]
+    assert values == sorted(values)
+
+
+def test_no_opt_is_an_order_of_magnitude_slower(ladder_results):
+    no_opt = ladder_results["No Opt."].throughput_per_core_gbps
+    all_opt = ladder_results["+aRFS"].throughput_per_core_gbps
+    assert no_opt < 12  # paper: ~8Gbps
+    assert all_opt / no_opt > 3.5  # paper: ~5x
+
+
+def test_no_opt_bottleneck_is_protocol_processing(ladder_results):
+    """Without aggregation, TCP/IP per-skb costs dominate (§3.1)."""
+    breakdown = ladder_results["No Opt."].receiver_breakdown
+    assert breakdown.fraction(Category.TCPIP) > breakdown.fraction(Category.DATA_COPY)
+
+
+def test_no_opt_lock_contention_visible(ladder_results):
+    """App and softirq contexts on different cores contend on the socket."""
+    no_opt = ladder_results["No Opt."].receiver_breakdown
+    all_opt = ladder_results["+aRFS"].receiver_breakdown
+    assert no_opt.fraction(Category.LOCK) > all_opt.fraction(Category.LOCK)
+
+
+def test_jumbo_reduces_gro_cost(ladder_results):
+    """Fewer, larger frames cut the netdev (GRO) share (§3.1)."""
+    tso_gro = ladder_results["+TSO/GRO"].receiver_breakdown
+    jumbo = ladder_results["+Jumbo"].receiver_breakdown
+    assert jumbo.fraction(Category.NETDEV) < tso_gro.fraction(Category.NETDEV)
+
+
+def test_arfs_lifts_cache_hits(ladder_results):
+    """Only aRFS lets the app copy from the (NIC-local) L3 via DCA."""
+    assert ladder_results["+Jumbo"].receiver_cache_miss_rate > 0.95
+    assert ladder_results["+aRFS"].receiver_cache_miss_rate < 0.8
+
+
+def test_copy_fraction_grows_along_ladder(ladder_results):
+    """As packet processing gets cheaper, data copy takes over."""
+    fractions = [
+        ladder_results[label].receiver_breakdown.fraction(Category.DATA_COPY)
+        for label in ("No Opt.", "+TSO/GRO", "+Jumbo")
+    ]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,139 @@
+"""Integration tests for multi-flow traffic patterns (Figs 5-8)."""
+
+import pytest
+
+from repro.config import ExperimentConfig, TrafficPattern
+from repro.core.taxonomy import Category
+
+from .conftest import run
+
+
+@pytest.fixture(scope="module")
+def one2one():
+    return {
+        n: run(
+            ExperimentConfig(pattern=TrafficPattern.ONE_TO_ONE, num_flows=n),
+            warmup_ms=12,
+        )
+        for n in (8, 24)
+    }
+
+
+@pytest.fixture(scope="module")
+def all2all():
+    return {
+        x: run(
+            ExperimentConfig(pattern=TrafficPattern.ALL_TO_ALL, num_flows=x),
+            warmup_ms=12,
+        )
+        for x in (8, 24)
+    }
+
+
+@pytest.fixture(scope="module")
+def outcast8():
+    return run(
+        ExperimentConfig(pattern=TrafficPattern.OUTCAST, num_flows=8), warmup_ms=12
+    )
+
+
+# --- one-to-one (Fig 5) ------------------------------------------------------
+
+
+def test_one2one_saturates_the_link(one2one):
+    assert one2one[8].total_throughput_gbps > 90
+    assert one2one[24].total_throughput_gbps > 90
+
+
+def test_one2one_per_core_decreases_with_flows(single_flow_result, one2one):
+    single = single_flow_result.throughput_per_core_gbps
+    assert one2one[8].throughput_per_core_gbps <= single * 1.25
+    assert one2one[24].throughput_per_core_gbps < one2one[8].throughput_per_core_gbps
+    assert one2one[24].throughput_per_core_gbps < 0.85 * single
+
+
+def test_one2one_scheduling_overhead_rises(single_flow_result, one2one):
+    """Fig 5c: idling receivers sleep/wake constantly at 24 flows."""
+    base = single_flow_result.receiver_breakdown.fraction(Category.SCHED)
+    at24 = one2one[24].receiver_breakdown.fraction(Category.SCHED)
+    assert at24 > base + 0.05
+
+
+def test_one2one_memory_overhead_falls(single_flow_result, one2one):
+    """Fig 5c: lower per-core traffic lets pagesets recycle."""
+    base = single_flow_result.receiver_breakdown.fraction(Category.MEMORY)
+    at24 = one2one[24].receiver_breakdown.fraction(Category.MEMORY)
+    assert at24 < base
+
+
+# --- incast (Fig 6) -----------------------------------------------------------
+
+
+def test_incast_miss_rate_grows_with_flows(incast_results):
+    """Fig 6c: 48% -> 78% as flows go 1 -> 8 (we accept any clear growth)."""
+    assert (
+        incast_results[8].receiver_cache_miss_rate
+        > incast_results[1].receiver_cache_miss_rate + 0.10
+    )
+
+
+def test_incast_per_core_drops_with_flows(incast_results):
+    """Fig 6a: ~19% drop at 8 flows."""
+    ratio = (
+        incast_results[8].throughput_per_core_gbps
+        / incast_results[1].throughput_per_core_gbps
+    )
+    assert ratio < 0.95
+
+
+def test_incast_breakdown_stable(incast_results):
+    """Fig 6b: category mix does not shift much with incast flows."""
+    f1 = incast_results[1].receiver_breakdown.fraction(Category.DATA_COPY)
+    f8 = incast_results[8].receiver_breakdown.fraction(Category.DATA_COPY)
+    assert abs(f1 - f8) < 0.15
+
+
+# --- outcast (Fig 7) ------------------------------------------------------------
+
+
+def test_outcast_sender_efficiency(outcast8):
+    """Paper: a single sender core sustains ~89Gbps."""
+    assert outcast8.throughput_per_sender_core_gbps > 70
+
+
+def test_sender_pipeline_beats_receiver_pipeline(outcast8, incast_results):
+    """Paper: outcast sender ~2.1x more CPU-efficient than incast receiver."""
+    ratio = (
+        outcast8.throughput_per_sender_core_gbps
+        / incast_results[8].throughput_per_receiver_core_gbps
+    )
+    assert ratio > 1.6
+
+
+def test_outcast_sender_cache_stays_warm(outcast8):
+    """Fig 7c: sender-side misses stay low (~11% at 24 flows)."""
+    assert outcast8.sender_cache_miss_rate < 0.25
+
+
+# --- all-to-all (Fig 8) -----------------------------------------------------------
+
+
+def test_all2all_per_core_collapses(single_flow_result, all2all):
+    """Fig 8a: ~67% reduction going to 24x24."""
+    ratio = (
+        all2all[24].throughput_per_core_gbps
+        / single_flow_result.throughput_per_core_gbps
+    )
+    assert ratio < 0.55
+
+
+def test_all2all_skbs_shrink(single_flow_result, all2all):
+    """Fig 8c: post-GRO skb sizes collapse with 576 flows."""
+    assert all2all[24].mean_rx_skb_bytes() < 0.5 * single_flow_result.mean_rx_skb_bytes()
+    assert all2all[24].mean_rx_skb_bytes() < all2all[8].mean_rx_skb_bytes() * 1.05
+
+
+def test_all2all_more_flows_lower_per_core(all2all):
+    assert (
+        all2all[24].throughput_per_core_gbps < all2all[8].throughput_per_core_gbps
+    )

@@ -1,0 +1,105 @@
+"""Integration tests for short-flow RPCs (Fig 10) and mixed workloads (Fig 11)."""
+
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    NumaPolicy,
+    TrafficPattern,
+    WorkloadConfig,
+)
+from repro.core.taxonomy import Category
+from repro.units import kb
+
+from .conftest import run
+
+
+def rpc_config(size_kb, numa=NumaPolicy.NIC_LOCAL_FIRST):
+    return ExperimentConfig(
+        pattern=TrafficPattern.RPC_INCAST,
+        num_flows=16,
+        workload=WorkloadConfig(rpc_size_bytes=kb(size_kb)),
+        numa_policy=numa,
+    )
+
+
+@pytest.fixture(scope="module")
+def rpc_results():
+    return {size: run(rpc_config(size), warmup_ms=12) for size in (4, 64)}
+
+
+def test_rpc_throughput_grows_with_message_size(rpc_results):
+    """Fig 10a: throughput-per-core increases with RPC size."""
+    assert (
+        rpc_results[64].throughput_per_receiver_core_gbps
+        > 2 * rpc_results[4].throughput_per_receiver_core_gbps
+    )
+
+
+def test_small_rpcs_copy_not_dominant(rpc_results):
+    """Fig 10b: at 4KB, TCP/IP + scheduling beat data copy."""
+    breakdown = rpc_results[4].receiver_breakdown
+    copy = breakdown.fraction(Category.DATA_COPY)
+    assert breakdown.fraction(Category.TCPIP) > copy or copy < 0.30
+
+
+def test_large_rpcs_look_like_long_flows(rpc_results):
+    """Fig 10b: with 64KB RPCs, data copy dominates again."""
+    assert rpc_results[64].receiver_breakdown.top()[0] is Category.DATA_COPY
+
+
+def test_server_core_is_saturated(rpc_results):
+    assert rpc_results[4].receiver_utilization_cores > 0.9
+
+
+def test_numa_placement_barely_matters_for_small_rpcs():
+    """Fig 10c: unlike long flows, 4KB RPCs lose little on remote NUMA."""
+    local = run(rpc_config(4), warmup_ms=12)
+    remote = run(rpc_config(4, numa=NumaPolicy.NIC_REMOTE), warmup_ms=12)
+    ratio = (
+        remote.throughput_per_receiver_core_gbps
+        / local.throughput_per_receiver_core_gbps
+    )
+    assert ratio > 0.85  # long flows lose ~20%; short flows are marginal
+
+
+# --- mixed long + short flows (Fig 11) ----------------------------------------
+
+
+def mixed_config(num_short, include_long=True):
+    return ExperimentConfig(
+        pattern=TrafficPattern.MIXED,
+        workload=WorkloadConfig(
+            num_rpc_flows=num_short, include_long_flow=include_long
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_results():
+    return {n: run(mixed_config(n), warmup_ms=12) for n in (0, 16)}
+
+
+def test_mixing_degrades_per_core_throughput(mixed_results):
+    """Fig 11a: ~43% drop with 16 colocated short flows."""
+    ratio = (
+        mixed_results[16].throughput_per_core_gbps
+        / mixed_results[0].throughput_per_core_gbps
+    )
+    assert ratio < 0.75
+
+
+def test_both_classes_lose_when_mixed(mixed_results):
+    """§3.7: long and short flows each do worse mixed than isolated."""
+    long_alone = mixed_results[0].throughput_by_tag_gbps["long"]
+    short_alone = run(mixed_config(16, include_long=False), warmup_ms=12)
+    short_alone_gbps = short_alone.throughput_by_tag_gbps["short"]
+    mixed = mixed_results[16].throughput_by_tag_gbps
+    assert mixed["long"] < 0.8 * long_alone
+    assert mixed["short"] < 0.9 * short_alone_gbps
+
+
+def test_mixing_raises_scheduling_pressure(mixed_results):
+    base = mixed_results[0].receiver_breakdown.fraction(Category.SCHED)
+    mixed = mixed_results[16].receiver_breakdown.fraction(Category.SCHED)
+    assert mixed > base

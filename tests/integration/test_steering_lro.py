@@ -1,0 +1,75 @@
+"""Integration tests for steering-mechanism and LRO extensions."""
+
+import pytest
+
+from repro.config import ExperimentConfig, OptimizationConfig, SteeringMode
+from repro.core.taxonomy import Category
+
+from .conftest import run
+
+
+@pytest.fixture(scope="module")
+def steering_results(single_flow_result):
+    out = {"arfs": single_flow_result}
+    out["rfs"] = run(
+        ExperimentConfig(
+            opts=OptimizationConfig.tso_gro_jumbo(),
+            worst_case_irq_mapping=False,
+            steering=SteeringMode.RFS,
+        )
+    )
+    out["rss"] = run(
+        ExperimentConfig(
+            opts=OptimizationConfig.tso_gro_jumbo(),
+            worst_case_irq_mapping=False,
+            steering=SteeringMode.RSS,
+        )
+    )
+    return out
+
+
+def test_arfs_beats_software_steering(steering_results):
+    """Only aRFS co-locates IRQ+TCP+app and unlocks DCA."""
+    assert (
+        steering_results["arfs"].throughput_per_core_gbps
+        > steering_results["rfs"].throughput_per_core_gbps
+    )
+    assert (
+        steering_results["arfs"].throughput_per_core_gbps
+        > steering_results["rss"].throughput_per_core_gbps
+    )
+
+
+def test_software_steering_cannot_use_dca(steering_results):
+    assert steering_results["rfs"].receiver_cache_miss_rate > 0.9
+    assert steering_results["rss"].receiver_cache_miss_rate > 0.9
+
+
+def test_rfs_avoids_socket_lock_contention(steering_results):
+    """RFS runs TCP on the app core, so lock costs stay uncontended."""
+    rfs_lock = steering_results["rfs"].receiver_breakdown.fraction(Category.LOCK)
+    arfs_lock = steering_results["arfs"].receiver_breakdown.fraction(Category.LOCK)
+    assert rfs_lock == pytest.approx(arfs_lock, abs=0.02)
+
+
+@pytest.fixture(scope="module")
+def lro_result():
+    return run(
+        ExperimentConfig(
+            opts=OptimizationConfig(tso_gro=True, jumbo=True, arfs=True, lro=True)
+        )
+    )
+
+
+def test_lro_beats_gro_per_core(single_flow_result, lro_result):
+    """Footnote 3: LRO reaches ~55Gbps by moving the merge into the NIC."""
+    assert (
+        lro_result.throughput_per_core_gbps
+        > single_flow_result.throughput_per_core_gbps
+    )
+
+
+def test_lro_removes_gro_cycles(single_flow_result, lro_result):
+    gro_share = single_flow_result.receiver_breakdown.fraction(Category.NETDEV)
+    lro_share = lro_result.receiver_breakdown.fraction(Category.NETDEV)
+    assert lro_share < gro_share

@@ -1,0 +1,67 @@
+"""Property-based tests for congestion-controller invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CongestionControl
+from repro.kernel.tcp.cc import make_congestion_controller
+
+MSS = 8960
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["ack", "dup", "loss", "timeout", "exit"]),
+        st.integers(min_value=1, max_value=20),        # acked segments
+        st.booleans(),                                 # ecn echo
+        st.integers(min_value=10_000, max_value=500_000),  # rtt ns
+    ),
+    max_size=120,
+)
+
+
+@st.composite
+def algo_and_events(draw):
+    algo = draw(st.sampled_from(list(CongestionControl)))
+    return algo, draw(events)
+
+
+@given(algo_and_events())
+@settings(max_examples=150, deadline=None)
+def test_cwnd_stays_at_least_one_mss(case):
+    algo, sequence = case
+    cc = make_congestion_controller(algo, MSS, 10)
+    now = 0
+    for kind, segments, ecn, rtt in sequence:
+        now += rtt
+        if kind == "ack":
+            cc.on_ack(segments * MSS, rtt, ecn, now)
+        elif kind == "dup":
+            cc.on_dup_ack(now)
+        elif kind == "loss":
+            cc.on_loss(now)
+        elif kind == "timeout":
+            cc.on_timeout(now)
+        else:
+            cc.on_recovery_exit(now)
+        assert cc.cwnd_bytes >= MSS
+        assert cc.cwnd_bytes < 10**10  # no runaway growth
+
+
+@given(algo_and_events())
+@settings(max_examples=100, deadline=None)
+def test_loss_never_increases_window(case):
+    algo, sequence = case
+    cc = make_congestion_controller(algo, MSS, 50)
+    now = 0
+    for kind, segments, ecn, rtt in sequence:
+        now += rtt
+        if kind == "ack":
+            cc.on_ack(segments * MSS, rtt, ecn, now)
+        elif kind == "loss":
+            before = cc.cwnd_bytes
+            cc.on_loss(now)
+            assert cc.cwnd_bytes <= before
+        elif kind == "timeout":
+            cc.on_timeout(now)
+        elif kind == "exit":
+            cc.on_recovery_exit(now)

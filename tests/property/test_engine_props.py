@@ -1,0 +1,51 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                       max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired_times = []
+    for delay in delays:
+        engine.schedule(delay, lambda: fired_times.append(engine.now))
+    engine.run()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30),
+    cutoff=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_run_until_fires_exactly_events_at_or_before_cutoff(delays, cutoff):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, fired.append, delay)
+    engine.run(until=cutoff)
+    assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_cancelled_subset_never_fires(data):
+    delays = data.draw(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20)
+    )
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+    )
+    for index in to_cancel:
+        events[index].cancel()
+    engine.run()
+    assert set(fired) == set(range(len(events))) - to_cancel

@@ -1,0 +1,59 @@
+"""Property-based tests for the page allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.calibration import default_cost_model
+from repro.kernel.mem import PageAllocator
+
+CORE = ("h", 0)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free_local", "free_remote"]),
+        st.integers(min_value=1, max_value=600),
+    ),
+    max_size=150,
+)
+
+
+@given(ops=operations, capacity=st.integers(min_value=1, max_value=512))
+@settings(max_examples=100, deadline=None)
+def test_pageset_level_always_bounded(ops, capacity):
+    allocator = PageAllocator(default_cost_model(), capacity=capacity, batch=64)
+    for kind, npages in ops:
+        if kind == "alloc":
+            allocator.alloc(CORE, npages)
+        elif kind == "free_local":
+            allocator.free(CORE, 0, npages, 0)
+        else:
+            allocator.free(CORE, 0, npages, 1)
+        assert 0 <= allocator.pageset_level(CORE) <= capacity
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_charges_always_nonnegative(ops):
+    allocator = PageAllocator(default_cost_model(), capacity=128, batch=32)
+    for kind, npages in ops:
+        if kind == "alloc":
+            items = allocator.alloc(CORE, npages)
+        else:
+            items = allocator.free(CORE, 0, npages, 0 if kind == "free_local" else 1)
+        assert all(cycles >= 0 for _, cycles in items)
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_counters_are_consistent(ops):
+    allocator = PageAllocator(default_cost_model(), capacity=128, batch=32)
+    allocs = frees = 0
+    for kind, npages in ops:
+        if kind == "alloc":
+            allocator.alloc(CORE, npages)
+            allocs += npages
+        else:
+            allocator.free(CORE, 0, npages, 0 if kind == "free_local" else 1)
+            frees += npages
+    assert allocator.pcp_allocs + allocator.global_allocs == allocs
+    assert allocator.local_frees + allocator.remote_frees == frees

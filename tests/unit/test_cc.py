@@ -1,0 +1,153 @@
+"""Unit tests for the congestion control algorithms."""
+
+import pytest
+
+from repro.config import CongestionControl
+from repro.kernel.tcp.cc import (
+    BbrCC,
+    CubicCC,
+    DctcpCC,
+    RenoCC,
+    make_congestion_controller,
+)
+
+MSS = 8960
+USEC = 1000
+
+
+def test_factory_builds_each_algorithm():
+    for algo, cls in [
+        (CongestionControl.RENO, RenoCC),
+        (CongestionControl.CUBIC, CubicCC),
+        (CongestionControl.DCTCP, DctcpCC),
+        (CongestionControl.BBR, BbrCC),
+    ]:
+        cc = make_congestion_controller(algo, MSS, 10)
+        assert isinstance(cc, cls)
+        assert cc.cwnd_bytes == 10 * MSS
+
+
+def test_reno_slow_start_doubles():
+    cc = RenoCC(MSS, 10)
+    start = cc.cwnd_bytes
+    cc.on_ack(start, rtt_ns=50 * USEC, ecn_echo=False, now_ns=0)
+    assert cc.cwnd_bytes == 2 * start
+
+
+def test_reno_congestion_avoidance_linear():
+    cc = RenoCC(MSS, 10)
+    cc.ssthresh_bytes = cc.cwnd_bytes  # leave slow start
+    start = cc.cwnd_bytes
+    cc.on_ack(start, 50 * USEC, False, 0)  # one full window acked
+    assert cc.cwnd_bytes == start + MSS
+
+
+def test_reno_loss_halves():
+    cc = RenoCC(MSS, 100)
+    before = cc.cwnd_bytes
+    cc.on_loss(0)
+    assert cc.cwnd_bytes == before // 2
+    assert cc.in_recovery
+
+
+def test_cwnd_never_below_one_mss():
+    cc = RenoCC(MSS, 2)
+    for _ in range(10):
+        cc.on_loss(0)
+        cc.on_recovery_exit(0)
+    assert cc.cwnd_bytes >= MSS
+
+
+def test_timeout_resets_to_one_mss():
+    cc = CubicCC(MSS, 100)
+    cc.on_timeout(0)
+    assert cc.cwnd_bytes == MSS
+
+
+def test_cubic_reduces_by_beta():
+    cc = CubicCC(MSS, 100)
+    before = cc.cwnd_bytes
+    cc.on_loss(1_000_000)
+    assert cc.cwnd_bytes == pytest.approx(before * 0.7, rel=0.01)
+
+
+def test_cubic_regrows_after_loss():
+    cc = CubicCC(MSS, 100)
+    cc.on_loss(0)
+    cc.on_recovery_exit(0)
+    floor = cc.cwnd_bytes
+    now = 0
+    for _ in range(200):
+        now += 50 * USEC
+        cc.on_ack(cc.cwnd_bytes, 50 * USEC, False, now)
+    assert cc.cwnd_bytes > floor
+
+
+def test_cubic_frozen_during_recovery():
+    cc = CubicCC(MSS, 100)
+    cc.on_loss(0)
+    during = cc.cwnd_bytes
+    cc.on_ack(10 * MSS, 50 * USEC, False, 100)
+    assert cc.cwnd_bytes == during
+
+
+def test_dctcp_alpha_decays_without_marks():
+    cc = DctcpCC(MSS, 100)
+    assert cc.alpha == 1.0
+    now = 0
+    for _ in range(50):
+        now += 50 * USEC
+        cc.on_ack(cc.cwnd_bytes, 50 * USEC, False, now)
+    assert cc.alpha < 0.1
+
+
+def test_dctcp_marks_reduce_window_proportionally():
+    cc = DctcpCC(MSS, 100)
+    before = cc.cwnd_bytes
+    now = 0
+    for _ in range(30):
+        now += 50 * USEC
+        cc.on_ack(cc.cwnd_bytes, 50 * USEC, True, now)  # everything marked
+    assert cc.cwnd_bytes < before
+
+
+def test_bbr_tracks_bandwidth():
+    cc = BbrCC(MSS, 10)
+    now = 0
+    for _ in range(50):
+        now += 10 * USEC
+        cc.on_ack(125_000, 50 * USEC, False, now)  # 12.5MB/ms == 100Gbps
+    assert cc.btl_bw_bps > 10e9
+
+
+def test_bbr_min_rtt_window_expires():
+    cc = BbrCC(MSS, 10)
+    cc.on_ack(10_000, 9 * USEC, False, 0)
+    assert cc.min_rtt_ns == 9 * USEC
+    # much later, only slower samples remain in the window
+    later = BbrCC.MIN_RTT_WINDOW_NS + 1_000_000
+    cc.on_ack(10_000, 80 * USEC, False, later)
+    assert cc.min_rtt_ns == 80 * USEC
+
+
+def test_bbr_ignores_isolated_loss():
+    cc = BbrCC(MSS, 100)
+    before = cc.cwnd_bytes
+    cc.on_loss(0)
+    assert cc.cwnd_bytes == before
+
+
+def test_bbr_uses_pacing():
+    assert BbrCC(MSS, 10).uses_pacing
+    assert not CubicCC(MSS, 10).uses_pacing
+    assert BbrCC(MSS, 10).pacing_rate_bps() > 0
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        make_congestion_controller("not-an-algo", MSS, 10)
+
+
+def test_invalid_mss_rejected():
+    with pytest.raises(ValueError):
+        RenoCC(0, 10)

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _build_parser, _config_from_args, main
+from repro.config import CongestionControl, NumaPolicy, TrafficPattern
+
+
+def parse(args):
+    return _build_parser().parse_args(args)
+
+
+def test_run_defaults():
+    config = _config_from_args(parse(["run"]))
+    assert config.pattern is TrafficPattern.SINGLE
+    assert config.opts.arfs and config.opts.tso_gro and config.opts.jumbo
+    assert config.tcp.autotune_rx_buffer
+
+
+def test_run_flag_mapping():
+    config = _config_from_args(parse([
+        "run", "--pattern", "incast", "--flows", "8", "--no-arfs",
+        "--iommu", "--no-dca", "--numa-remote", "--cc", "bbr",
+        "--loss", "0.001", "--rx-buffer-kb", "3200", "--ring", "512",
+    ]))
+    assert config.pattern is TrafficPattern.INCAST
+    assert config.num_flows == 8
+    assert not config.opts.arfs
+    assert config.host.iommu_enabled and not config.host.dca_enabled
+    assert config.numa_policy is NumaPolicy.NIC_REMOTE
+    assert config.tcp.congestion_control is CongestionControl.BBR
+    assert config.link.loss_rate == 0.001 and config.link.has_switch
+    assert not config.tcp.autotune_rx_buffer
+    assert config.nic.rx_descriptors == 512
+    config.validate()
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3a" in out and "table1" in out and "fig13c" in out
+
+
+def test_figure_command_renders_table(capsys):
+    assert main(["figure", "table1"]) == 0
+    assert "CPU usage taxonomy" in capsys.readouterr().out
+
+
+def test_figure_command_unknown_panel(capsys):
+    assert main(["figure", "nope"]) == 2
+
+
+def test_figure_export(tmp_path, capsys):
+    path = tmp_path / "t2.csv"
+    assert main(["figure", "table2", "--export", str(path)]) == 0
+    assert "mechanism" in path.read_text()
+
+
+def test_run_json_output(capsys):
+    code = main([
+        "run", "--duration-ms", "2", "--warmup-ms", "2", "--json",
+    ])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["total_throughput_gbps"] > 0

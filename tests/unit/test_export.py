@@ -1,0 +1,68 @@
+"""Unit tests for result/table export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.export import (
+    export_table,
+    result_to_dict,
+    result_to_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.core.report import Table
+
+from .test_results import make_result
+
+
+def test_result_to_dict_round_trips_through_json():
+    payload = result_to_dict(make_result(total=42.0))
+    again = json.loads(json.dumps(payload))
+    assert again["total_throughput_gbps"] == 42.0
+    assert again["bottleneck_side"] == "receiver"
+    assert set(again["receiver_breakdown"]) == {
+        "data_copy", "tcpip", "netdev", "skb_mgmt",
+        "memory", "lock", "sched", "etc",
+    }
+
+
+def test_result_to_json_is_valid_json():
+    document = json.loads(result_to_json(make_result()))
+    assert "copy_latency_ns" in document
+
+
+def make_table():
+    table = Table("t", ["name", "value"])
+    table.add_row("a", 1.5)
+    table.add_row("b", 2.5)
+    return table
+
+
+def test_table_to_csv():
+    rows = list(csv.reader(io.StringIO(table_to_csv(make_table()))))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["a", "1.5"]
+
+
+def test_table_to_json():
+    document = json.loads(table_to_json(make_table()))
+    assert document["title"] == "t"
+    assert document["rows"][1] == {"name": "b", "value": 2.5}
+
+
+def test_export_table_writes_files(tmp_path):
+    table = make_table()
+    csv_path = tmp_path / "out.csv"
+    json_path = tmp_path / "out.json"
+    export_table(table, str(csv_path))
+    export_table(table, str(json_path))
+    assert "name,value" in csv_path.read_text()
+    assert json.loads(json_path.read_text())["title"] == "t"
+
+
+def test_export_table_rejects_unknown_suffix(tmp_path):
+    with pytest.raises(ValueError):
+        export_table(make_table(), str(tmp_path / "out.xlsx"))

@@ -1,0 +1,52 @@
+"""Unit tests for the figure-generator plumbing (structure, not sweeps)."""
+
+from repro.core.report import Table
+from repro.core.taxonomy import Category
+from repro.figures import ALL_FIGURES, fig3, fig4, fig11, tables
+
+
+def test_registry_covers_every_evaluation_figure():
+    names = set(ALL_FIGURES)
+    assert {f"fig{i}" for i in range(3, 14)} <= names
+    assert "tables" in names
+
+
+def test_table1_structure():
+    table = tables.table1()
+    assert isinstance(table, Table)
+    assert len(table.rows) == len(Category)
+    assert table.column("component")[0] == "data copy"
+
+
+def test_table2_lists_all_mechanisms():
+    table = tables.table2()
+    assert table.column("mechanism") == ["RPS", "RFS", "RSS", "ARFS"]
+
+
+def test_fig3f_small_sweep_structure():
+    table = fig3.fig3f(buffers_kb=(400,))
+    assert table.columns == [
+        "rx_buffer_kb", "avg_latency_us", "p99_latency_us", "thpt_gbps"
+    ]
+    assert len(table.rows) == 1
+    assert table.rows[0][0] == 400
+    assert table.rows[0][3] > 0
+
+
+def test_fig4_two_placements():
+    table = fig4.fig4()
+    assert [row[0] for row in table.rows] == ["NIC-local NUMA", "NIC-remote NUMA"]
+
+
+def test_fig11_isolation_table_shape():
+    table = fig11.isolation_comparison(num_short=1)
+    assert len(table.rows) == 2
+    assert table.columns == ["workload", "long_gbps", "short_gbps"]
+
+
+def test_every_figure_module_has_a_generate_all_or_panel():
+    for name, module in ALL_FIGURES.items():
+        if name == "tables":
+            continue
+        has_panels = any(attr.startswith("fig") for attr in dir(module))
+        assert has_panels, f"{name} exposes no panels"

@@ -1,0 +1,124 @@
+"""Unit tests for the GRO engine."""
+
+from repro.costs.calibration import default_cost_model
+from repro.kernel.gro import GRO_MAX_HELD_FLOWS, GroEngine
+from repro.kernel.skb import Skb
+
+
+def frame_skb(flow=1, seq=0, size=9000, region=None, node=0):
+    return Skb(
+        flow_id=flow,
+        seq=seq,
+        payload_bytes=size,
+        nframes=1,
+        pages=3,
+        page_node=node,
+        regions=[(region if region is not None else seq, size)],
+    )
+
+
+def make_gro(enabled=True, **kwargs):
+    return GroEngine(default_cost_model(), enabled, **kwargs)
+
+
+def test_in_sequence_frames_merge():
+    gro = make_gro()
+    gro.receive(frame_skb(seq=0))
+    _, flushed = gro.receive(frame_skb(seq=9000))
+    assert flushed == []
+    _, flushed = gro.flush_all()
+    assert len(flushed) == 1
+    assert flushed[0].payload_bytes == 18000
+    assert flushed[0].nframes == 2
+    assert len(flushed[0].regions) == 2
+
+
+def test_out_of_sequence_flushes_held():
+    gro = make_gro()
+    gro.receive(frame_skb(seq=0))
+    _, flushed = gro.receive(frame_skb(seq=50_000))  # gap
+    assert len(flushed) == 1
+    assert flushed[0].seq == 0
+
+
+def test_size_limit_respected():
+    gro = make_gro(max_merged_bytes=64 * 1024)
+    flushed_total = []
+    for i in range(10):
+        _, flushed = gro.receive(frame_skb(seq=i * 9000))
+        flushed_total.extend(flushed)
+    _, flushed = gro.flush_all()
+    flushed_total.extend(flushed)
+    assert all(skb.payload_bytes <= 64 * 1024 for skb in flushed_total)
+    assert sum(skb.payload_bytes for skb in flushed_total) == 90_000
+
+
+def test_different_flows_held_separately():
+    gro = make_gro()
+    gro.receive(frame_skb(flow=1, seq=0))
+    gro.receive(frame_skb(flow=2, seq=0))
+    gro.receive(frame_skb(flow=1, seq=9000))
+    _, flushed = gro.flush_all()
+    sizes = sorted(skb.payload_bytes for skb in flushed)
+    assert sizes == [9000, 18000]
+
+
+def test_held_flow_limit_evicts_oldest():
+    gro = make_gro(max_held_flows=2)
+    gro.receive(frame_skb(flow=1, seq=0))
+    gro.receive(frame_skb(flow=2, seq=0))
+    _, flushed = gro.receive(frame_skb(flow=3, seq=0))
+    assert len(flushed) == 1
+    assert flushed[0].flow_id == 1  # oldest evicted
+
+
+def test_default_held_limit_matches_kernel():
+    assert GRO_MAX_HELD_FLOWS == 64
+
+
+def test_disabled_gro_passes_through():
+    gro = make_gro(enabled=False)
+    items, flushed = gro.receive(frame_skb(seq=0))
+    assert items == []
+    assert len(flushed) == 1 and flushed[0].nframes == 1
+
+
+def test_cross_numa_frames_not_merged():
+    gro = make_gro()
+    gro.receive(frame_skb(seq=0, node=0))
+    _, flushed = gro.receive(frame_skb(seq=9000, node=1))
+    assert len(flushed) == 1  # node change forces a flush
+
+
+def test_ecn_mark_propagates_through_merge():
+    gro = make_gro()
+    gro.receive(frame_skb(seq=0))
+    marked = frame_skb(seq=9000)
+    marked.ecn = True
+    gro.receive(marked)
+    _, flushed = gro.flush_all()
+    assert flushed[0].ecn
+
+
+def test_byte_conservation():
+    gro = make_gro()
+    total_in = 0
+    out = []
+    for i in range(25):
+        skb = frame_skb(seq=i * 9000, size=9000)
+        total_in += skb.payload_bytes
+        _, flushed = gro.receive(skb)
+        out.extend(flushed)
+    _, flushed = gro.flush_all()
+    out.extend(flushed)
+    assert sum(skb.payload_bytes for skb in out) == total_in
+
+
+def test_statistics():
+    gro = make_gro()
+    for i in range(4):
+        gro.receive(frame_skb(seq=i * 9000))
+    gro.flush_all()
+    assert gro.frames_in == 4
+    assert gro.merges == 3
+    assert gro.skbs_out == 1

@@ -1,0 +1,39 @@
+"""Unit tests for transmit-side segmentation (GSO/TSO)."""
+
+from repro.costs.calibration import default_cost_model
+from repro.kernel.gso import frames_for, segmentation_charges
+
+
+def test_frames_for_exact_multiple():
+    assert frames_for(18000, 9000) == 2
+
+
+def test_frames_for_rounds_up():
+    assert frames_for(9001, 9000) == 2
+
+
+def test_frames_for_empty():
+    assert frames_for(0, 9000) == 0
+
+
+def test_tso_offload_is_free():
+    items, nframes = segmentation_charges(64 * 1024, 8960, tso=True,
+                                          costs=default_cost_model())
+    assert items == []
+    assert nframes == 8
+
+
+def test_software_gso_charges_per_segment():
+    costs = default_cost_model()
+    items, nframes = segmentation_charges(64 * 1024, 8960, tso=False, costs=costs)
+    assert nframes == 8
+    ops = {op for op, _ in items}
+    assert ops == {"gso_segment", "skb_segment", "mlx5e_xmit"}
+    gso_cycles = dict(items)["gso_segment"]
+    assert gso_cycles == nframes * costs.gso_segment_per_frame
+
+
+def test_single_frame_needs_no_segmentation():
+    items, nframes = segmentation_charges(1000, 9000, tso=False,
+                                          costs=default_cost_model())
+    assert items == [] and nframes == 1

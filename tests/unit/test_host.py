@@ -1,0 +1,77 @@
+"""Unit tests for per-host wiring (steering policies, utilization math)."""
+
+import pytest
+
+from repro.config import ExperimentConfig, OptimizationConfig
+from repro.core.metrics import MetricsHub
+from repro.core.profiler import CpuProfiler
+from repro.costs.calibration import default_cost_model
+from repro.kernel.host import Host
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+
+def make_host(config=None):
+    config = config or ExperimentConfig()
+    engine = Engine()
+    profiler = CpuProfiler()
+    return Host(engine, "receiver", config, default_cost_model(), profiler,
+                MetricsHub(), RngStreams(1)), profiler
+
+
+def test_host_has_one_rx_queue_per_core():
+    host, _ = make_host()
+    assert len(host.nic.queues) == 24
+    assert all(q.irq_core is host.core(i) for i, q in enumerate(host.nic.queues))
+
+
+def test_arfs_steers_to_app_core():
+    host, _ = make_host(ExperimentConfig(opts=OptimizationConfig.all()))
+    endpoint = host.add_endpoint(1, host.core(3))
+    assert endpoint.softirq_core is host.core(3)
+    assert host.steering.queue_for(1).irq_core is host.core(3)
+
+
+def test_worst_case_mapping_pins_remote_node():
+    host, _ = make_host(ExperimentConfig(opts=OptimizationConfig.none()))
+    endpoint = host.add_endpoint(1, host.core(0))
+    assert endpoint.softirq_core.numa_node != host.core(0).numa_node
+
+
+def test_arfs_table_overflow_falls_back_to_rss():
+    config = ExperimentConfig()
+    config.nic.arfs_table_capacity = 1
+    host, _ = make_host(config)
+    first = host.add_endpoint(1, host.core(0))
+    second = host.add_endpoint(2, host.core(1))
+    assert first.softirq_core is host.core(0)
+    # second flow could hash anywhere; it must at least be consistent
+    assert host.steering.queue_for(2).irq_core is second.softirq_core
+    assert host.steering.arfs_install_failures == 1
+
+
+def test_duplicate_flow_id_rejected():
+    host, _ = make_host()
+    host.add_endpoint(1, host.core(0))
+    with pytest.raises(ValueError):
+        host.add_endpoint(1, host.core(1))
+
+
+def test_utilization_from_profiler_cycles():
+    host, profiler = make_host()
+    core = host.core(0)
+    profiler.charge(core, "copy_to_user", 3.4e9 / 100)  # 1% of a second
+    util = host.utilization_cores(elapsed_ns=10_000_000)  # over 10ms
+    assert util == pytest.approx(1.0)
+
+
+def test_utilization_zero_elapsed():
+    host, _ = make_host()
+    assert host.utilization_cores(0) == 0.0
+
+
+def test_dca_consume_when_disabled_misses():
+    config = ExperimentConfig()
+    config.host.dca_enabled = False
+    host, _ = make_host(config)
+    assert host.dca_consume(1, 100) == (0, 100)

@@ -1,0 +1,34 @@
+"""Unit tests for the IOMMU model."""
+
+from repro.costs.calibration import default_cost_model
+from repro.hardware.iommu import IommuModel
+
+
+def test_disabled_iommu_charges_nothing():
+    iommu = IommuModel(False, default_cost_model())
+    assert iommu.map_charges(10) == []
+    assert iommu.unmap_charges(10) == []
+    assert iommu.pages_mapped == 0
+
+
+def test_enabled_iommu_charges_per_page():
+    costs = default_cost_model()
+    iommu = IommuModel(True, costs)
+    (op, cycles), = iommu.map_charges(4)
+    assert op == "iommu_map_page"
+    assert cycles == 4 * costs.iommu_map_per_page
+
+
+def test_unmap_charges_and_counts():
+    costs = default_cost_model()
+    iommu = IommuModel(True, costs)
+    (op, cycles), = iommu.unmap_charges(3)
+    assert op == "iommu_unmap_page"
+    assert cycles == 3 * costs.iommu_unmap_per_page
+    assert iommu.pages_unmapped == 3
+
+
+def test_zero_pages_is_noop():
+    iommu = IommuModel(True, default_cost_model())
+    assert iommu.map_charges(0) == []
+    assert iommu.unmap_charges(0) == []

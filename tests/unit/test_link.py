@@ -1,0 +1,105 @@
+"""Unit tests for the link / switch model."""
+
+import random
+
+from repro.hardware.link import Frame, Link
+from repro.sim.engine import Engine
+
+
+def data_frame(flow=1, seq=0, payload=1000, wire=1058):
+    return Frame(flow, Frame.KIND_DATA, seq, payload, wire)
+
+
+def make_link(engine, **kwargs):
+    defaults = dict(
+        bandwidth_bps=100e9,
+        propagation_ns=1000,
+        rng=random.Random(1),
+    )
+    defaults.update(kwargs)
+    return Link(engine, "test", **defaults)
+
+
+def test_delivery_after_serialization_and_propagation():
+    engine = Engine()
+    link = make_link(engine)
+    arrivals = []
+    link.transmit([data_frame(wire=12500)], lambda frames: arrivals.append(engine.now))
+    engine.run()
+    # 12500B at 100Gbps = 1000ns serialization + 1000ns propagation
+    assert arrivals == [2000]
+
+
+def test_batch_delivered_in_one_event_in_order():
+    engine = Engine()
+    link = make_link(engine)
+    received = []
+    frames = [data_frame(seq=i) for i in range(5)]
+    link.transmit(frames, received.extend)
+    engine.run()
+    assert [f.seq for f in received] == [0, 1, 2, 3, 4]
+
+
+def test_backlog_reflects_queued_bytes():
+    engine = Engine()
+    link = make_link(engine)
+    link.transmit([data_frame(wire=125_000)], lambda frames: None)
+    assert link.backlog_bytes() > 0
+
+
+def test_serialization_is_cumulative_across_transmits():
+    engine = Engine()
+    link = make_link(engine)
+    arrivals = []
+    link.transmit([data_frame(wire=12500)], lambda f: arrivals.append(engine.now))
+    link.transmit([data_frame(wire=12500)], lambda f: arrivals.append(engine.now))
+    engine.run()
+    assert arrivals == [2000, 3000]  # second waits behind the first
+
+
+def test_loss_requires_switch():
+    engine = Engine()
+    link = make_link(engine, loss_rate=1.0, has_switch=False)
+    received = []
+    link.transmit([data_frame()], received.extend)
+    engine.run()
+    assert len(received) == 1  # no switch => no drops
+
+
+def test_switch_drops_at_rate_one():
+    engine = Engine()
+    link = make_link(engine, loss_rate=1.0, has_switch=True)
+    received = []
+    link.transmit([data_frame() for _ in range(10)], received.extend)
+    engine.run()
+    assert received == []
+    assert link.frames_dropped == 10
+
+
+def test_switch_drops_statistically():
+    engine = Engine()
+    link = make_link(engine, loss_rate=0.5, has_switch=True)
+    received = []
+    link.transmit([data_frame(seq=i) for i in range(2000)], received.extend)
+    engine.run()
+    assert 700 <= len(received) <= 1300
+
+
+def test_ecn_marking_when_backlogged():
+    engine = Engine()
+    link = make_link(engine, has_switch=True, ecn_threshold_bytes=10_000)
+    received = []
+    frames = [data_frame(seq=i, wire=9000) for i in range(50)]
+    link.transmit(frames, received.extend)
+    engine.run()
+    assert any(f.ecn_marked for f in received)
+    assert not received[0].ecn_marked  # first frame saw an empty queue
+
+
+def test_counters():
+    engine = Engine()
+    link = make_link(engine)
+    link.transmit([data_frame(wire=1000), data_frame(wire=2000)], lambda f: None)
+    engine.run()
+    assert link.frames_sent == 2
+    assert link.bytes_sent == 3000

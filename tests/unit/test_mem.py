@@ -1,0 +1,86 @@
+"""Unit tests for the page allocator (pagesets over a global free list)."""
+
+import pytest
+
+from repro.costs.calibration import default_cost_model
+from repro.kernel.mem import PageAllocator
+
+CORE = ("receiver", 0)
+
+
+def make_allocator(capacity=64, batch=16):
+    return PageAllocator(default_cost_model(), capacity=capacity, batch=batch)
+
+
+def ops_of(items):
+    return [op for op, _ in items]
+
+
+def test_alloc_from_full_pageset_is_cheap():
+    allocator = make_allocator()
+    items = allocator.alloc(CORE, 10)
+    assert ops_of(items) == ["page_pool_alloc_pages"]
+    assert allocator.pcp_allocs == 10
+    assert allocator.global_allocs == 0
+
+
+def test_alloc_beyond_pageset_goes_global():
+    allocator = make_allocator(capacity=8)
+    items = allocator.alloc(CORE, 20)
+    assert "page_pool_alloc_pages" in ops_of(items)
+    assert "__alloc_pages_nodemask" in ops_of(items)
+    assert allocator.global_allocs == 12
+
+
+def test_global_alloc_charges_batches():
+    costs = default_cost_model()
+    allocator = PageAllocator(costs, capacity=16, batch=16)
+    allocator.alloc(CORE, 16)  # drain the pageset
+    items = allocator.alloc(CORE, 32)  # exactly two refill batches
+    (_, cycles), = items
+    expected = 32 * costs.page_alloc_global_cycles + 2 * costs.page_alloc_global_batch_cycles
+    assert cycles == pytest.approx(expected)
+
+
+def test_free_local_vs_remote_cost():
+    costs = default_cost_model()
+    allocator = make_allocator()
+    allocator.alloc(CORE, 10)
+    (_, local_cycles), = allocator.free(CORE, core_node=0, npages=5, page_node=0)
+    (_, remote_cycles), = allocator.free(CORE, core_node=0, npages=5, page_node=1)
+    assert local_cycles == 5 * costs.page_free_local_cycles
+    assert remote_cycles == 5 * costs.page_free_remote_cycles
+    assert allocator.local_frees == 5
+    assert allocator.remote_frees == 5
+
+
+def test_pageset_overflow_flushes_to_global():
+    allocator = make_allocator(capacity=8)
+    items = allocator.free(CORE, core_node=0, npages=20, page_node=0)
+    assert "free_pcppages_bulk" in ops_of(items)
+    assert allocator.global_flushes == 20  # started full: everything overflows
+    assert allocator.pageset_level(CORE) == 8
+
+
+def test_recycling_keeps_level_balanced():
+    allocator = make_allocator(capacity=64)
+    allocator.alloc(CORE, 32)
+    allocator.free(CORE, core_node=0, npages=32, page_node=0)
+    assert allocator.pageset_level(CORE) == 64
+    # steady state alloc/free cycles never touch the global list
+    before = allocator.global_allocs
+    for _ in range(10):
+        allocator.alloc(CORE, 16)
+        allocator.free(CORE, core_node=0, npages=16, page_node=0)
+    assert allocator.global_allocs == before
+
+
+def test_zero_pages_noop():
+    allocator = make_allocator()
+    assert allocator.alloc(CORE, 0) == []
+    assert allocator.free(CORE, 0, 0, 0) == []
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        PageAllocator(default_cost_model(), capacity=0, batch=0)

@@ -1,0 +1,71 @@
+"""Unit tests for metric collection."""
+
+import pytest
+
+from repro.core.metrics import LatencyStats, MetricsHub
+
+
+def test_latency_stats_basic():
+    stats = LatencyStats.from_samples([100, 200, 300, 400])
+    assert stats.count == 4
+    assert stats.avg_ns == 250
+    assert stats.max_ns == 400
+    assert stats.p50_ns == 200
+
+
+def test_latency_stats_p99():
+    stats = LatencyStats.from_samples(list(range(1, 101)))
+    assert stats.p99_ns == 99
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats.from_samples([])
+    assert stats.count == 0 and stats.avg_ns == 0.0
+
+
+def test_delivered_accumulates_per_host_and_flow():
+    hub = MetricsHub()
+    hub.record_delivered("receiver", 1, 1000)
+    hub.record_delivered("receiver", 1, 500)
+    hub.record_delivered("sender", 2, 200)
+    assert hub.side("receiver").delivered_bytes == 1500
+    assert hub.flow_bytes("receiver", 1) == 1500
+    assert hub.total_delivered_bytes() == 1700
+
+
+def test_delivered_by_tag():
+    hub = MetricsHub()
+    hub.register_flow(1, "long")
+    hub.register_flow(2, "short")
+    hub.record_delivered("receiver", 1, 1000)
+    hub.record_delivered("receiver", 2, 100)
+    hub.record_delivered("sender", 2, 100)
+    assert hub.delivered_by_tag() == {"long": 1000, "short": 200}
+
+
+def test_cache_miss_rate():
+    hub = MetricsHub()
+    hub.record_receiver_copy("receiver", hit=300, miss=700)
+    assert hub.side("receiver").cache_miss_rate() == pytest.approx(0.7)
+
+
+def test_miss_rate_with_no_traffic_is_zero():
+    assert MetricsHub().side("receiver").cache_miss_rate() == 0.0
+
+
+def test_reset_clears_measurements_but_keeps_tags():
+    hub = MetricsHub()
+    hub.register_flow(1, "long")
+    hub.record_delivered("receiver", 1, 1000)
+    hub.reset()
+    assert hub.total_delivered_bytes() == 0
+    hub.record_delivered("receiver", 1, 10)
+    assert hub.delivered_by_tag() == {"long": 10}
+
+
+def test_rx_skb_histogram():
+    hub = MetricsHub()
+    hub.record_rx_skb("receiver", 9000)
+    hub.record_rx_skb("receiver", 9000)
+    hub.record_rx_skb("receiver", 64 * 1024)
+    assert hub.side("receiver").rx_skb_sizes[9000] == 2

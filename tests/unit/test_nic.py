@@ -1,0 +1,122 @@
+"""Unit tests for the NIC model (Rx descriptors, DMA/DCA, LRO, Tx interleave)."""
+
+import random
+
+from repro.config import SteeringMode
+from repro.core.profiler import CpuProfiler
+from repro.costs.calibration import default_cost_model
+from repro.hardware.cache import DcaRegion
+from repro.hardware.cpu import Core
+from repro.hardware.link import Frame, Link
+from repro.hardware.nic import Nic
+from repro.hardware.steering import SteeringEngine
+from repro.sim.engine import Engine
+
+
+def make_nic(engine=None, descriptors=8, mtu=9000, lro=False, dca=None, queues=1):
+    engine = engine or Engine()
+    steering = SteeringEngine(SteeringMode.RSS, random.Random(1), 64)
+    nic = Nic(engine, "nic", 0, mtu, tso=True, lro=lro,
+              rx_descriptors=descriptors, steering=steering, dca=dca)
+    profiler, costs = CpuProfiler(), default_cost_model()
+    for i in range(queues):
+        nic.add_rx_queue(Core(engine, profiler, costs, "h", i, 0, 3.4e9))
+    return engine, nic
+
+
+def data_frame(flow=1, seq=0, payload=9000):
+    return Frame(flow, Frame.KIND_DATA, seq, payload, payload + 58)
+
+
+def test_frames_land_in_pending():
+    _, nic = make_nic()
+    nic.handle_rx([data_frame(seq=0), data_frame(seq=9000)])
+    assert len(nic.queues[0].pending) == 2
+    assert nic.rx_frames == 2
+
+
+def test_descriptor_exhaustion_drops():
+    _, nic = make_nic(descriptors=3)
+    nic.handle_rx([data_frame(seq=i * 9000) for i in range(5)])
+    assert len(nic.queues[0].pending) == 3
+    assert nic.total_rx_drops() == 2
+
+
+def test_replenish_restores_descriptors():
+    _, nic = make_nic(descriptors=3)
+    queue = nic.queues[0]
+    nic.handle_rx([data_frame(seq=i * 9000) for i in range(3)])
+    queue.replenish(3)
+    assert queue.avail_descriptors == 3
+
+
+def test_replenish_capped_at_capacity():
+    _, nic = make_nic(descriptors=3)
+    nic.queues[0].replenish(100)
+    assert nic.queues[0].avail_descriptors == 3
+
+
+def test_dma_writes_into_dca_for_local_queue():
+    dca = DcaRegion(0, 1_000_000, rng=random.Random(1))
+    _, nic = make_nic(dca=dca)
+    nic.handle_rx([data_frame()])
+    assert dca.occupancy == 9000
+
+
+def test_ack_frames_do_not_touch_dca():
+    dca = DcaRegion(0, 1_000_000, rng=random.Random(1))
+    _, nic = make_nic(dca=dca)
+    nic.handle_rx([Frame(1, Frame.KIND_ACK, 0, 0, 64)])
+    assert dca.occupancy == 0
+
+
+def test_lro_merges_consecutive_frames():
+    _, nic = make_nic(lro=True)
+    nic.handle_rx([data_frame(seq=0), data_frame(seq=9000), data_frame(seq=18000)])
+    queue = nic.queues[0]
+    assert len(queue.pending) == 1
+    record = queue.pending[0]
+    assert record.frame.payload_bytes == 27000
+    assert record.nframes == 3
+
+
+def test_lro_does_not_merge_across_flows():
+    _, nic = make_nic(lro=True)
+    nic.handle_rx([data_frame(flow=1, seq=0), data_frame(flow=2, seq=0)])
+    assert len(nic.queues[0].pending) == 2
+
+
+def test_dca_footprint_counts_only_active_queues():
+    dca = DcaRegion(0, 1_000_000, rng=random.Random(1))
+    _, nic = make_nic(dca=dca, queues=3, descriptors=100)
+    assert dca._descriptor_footprint == 0  # nothing active yet
+    nic.handle_rx([data_frame()])
+    assert dca._descriptor_footprint == 100 * 9000  # one active queue
+
+
+def test_tx_round_robin_interleaves_flows():
+    engine = Engine()
+    _, nic = make_nic(engine=engine)
+    delivered = []
+    link = Link(engine, "l", 100e9, 1000, random.Random(1))
+    nic.attach_tx(link, delivered.extend)
+    # two flows, each with a burst of 8 frames, queued back to back
+    nic.transmit([data_frame(flow=1, seq=i * 9000) for i in range(8)])
+    nic.transmit([data_frame(flow=2, seq=i * 9000) for i in range(8)])
+    engine.run()
+    flows = [f.flow_id for f in delivered]
+    assert sorted(flows) == [1] * 8 + [2] * 8
+    # flow 2 frames must appear before the last flow 1 frame (interleaved)
+    assert flows.index(2) < len(flows) - 1 - flows[::-1].index(1)
+
+
+def test_tx_preserves_per_flow_order():
+    engine = Engine()
+    _, nic = make_nic(engine=engine)
+    delivered = []
+    link = Link(engine, "l", 100e9, 1000, random.Random(1))
+    nic.attach_tx(link, delivered.extend)
+    nic.transmit([data_frame(flow=1, seq=i * 9000) for i in range(20)])
+    engine.run()
+    seqs = [f.seq for f in delivered if f.flow_id == 1]
+    assert seqs == sorted(seqs)

@@ -1,0 +1,88 @@
+"""Unit tests for traffic-pattern builders."""
+
+import pytest
+
+from repro.config import ExperimentConfig, TrafficPattern, WorkloadConfig
+from repro.workloads.flows import FlowSpec
+from repro.workloads.patterns import build_flow_specs
+
+
+def specs_for(pattern, flows=1, workload=None):
+    config = ExperimentConfig(
+        pattern=pattern, num_flows=flows,
+        workload=workload or WorkloadConfig(),
+    )
+    return build_flow_specs(config)
+
+
+def test_single():
+    (spec,) = specs_for(TrafficPattern.SINGLE)
+    assert (spec.sender_rank, spec.receiver_rank, spec.kind) == (0, 0, "stream")
+
+
+def test_one_to_one_pairs_ranks():
+    specs = specs_for(TrafficPattern.ONE_TO_ONE, 4)
+    assert [(s.sender_rank, s.receiver_rank) for s in specs] == [
+        (0, 0), (1, 1), (2, 2), (3, 3)
+    ]
+
+
+def test_incast_targets_rank_zero():
+    specs = specs_for(TrafficPattern.INCAST, 4)
+    assert all(s.receiver_rank == 0 for s in specs)
+    assert sorted(s.sender_rank for s in specs) == [0, 1, 2, 3]
+
+
+def test_outcast_sources_rank_zero():
+    specs = specs_for(TrafficPattern.OUTCAST, 4)
+    assert all(s.sender_rank == 0 for s in specs)
+    assert sorted(s.receiver_rank for s in specs) == [0, 1, 2, 3]
+
+
+def test_all_to_all_is_square():
+    specs = specs_for(TrafficPattern.ALL_TO_ALL, 3)
+    assert len(specs) == 9
+    pairs = {(s.sender_rank, s.receiver_rank) for s in specs}
+    assert len(pairs) == 9
+
+
+def test_flow_ids_unique():
+    specs = specs_for(TrafficPattern.ALL_TO_ALL, 4)
+    ids = [s.flow_id for s in specs]
+    assert len(set(ids)) == len(ids)
+
+
+def test_rpc_incast_shares_server_thread():
+    specs = specs_for(TrafficPattern.RPC_INCAST, 16)
+    assert all(s.kind == "rpc" and s.shared_server_thread for s in specs)
+    assert all(s.receiver_rank == 0 for s in specs)
+
+
+def test_mixed_combines_long_and_short():
+    specs = specs_for(
+        TrafficPattern.MIXED, workload=WorkloadConfig(num_rpc_flows=3)
+    )
+    kinds = sorted(s.kind for s in specs)
+    assert kinds == ["rpc", "rpc", "rpc", "stream"]
+    assert all(s.sender_rank == 0 and s.receiver_rank == 0 for s in specs)
+
+
+def test_mixed_without_long_flow():
+    specs = specs_for(
+        TrafficPattern.MIXED,
+        workload=WorkloadConfig(num_rpc_flows=2, include_long_flow=False),
+    )
+    assert all(s.kind == "rpc" for s in specs)
+
+
+def test_mixed_empty_rejected():
+    with pytest.raises(ValueError):
+        specs_for(
+            TrafficPattern.MIXED,
+            workload=WorkloadConfig(num_rpc_flows=0, include_long_flow=False),
+        )
+
+
+def test_invalid_flow_kind_rejected():
+    with pytest.raises(ValueError):
+        FlowSpec(1, "weird", 0, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the CPU profiler."""
+
+import pytest
+
+from repro.core.profiler import CpuProfiler
+from repro.core.taxonomy import Category
+
+
+class FakeCore:
+    def __init__(self, host, core_id):
+        self.key = (host, core_id)
+
+
+def test_charge_accumulates():
+    profiler = CpuProfiler()
+    core = FakeCore("receiver", 0)
+    profiler.charge(core, "copy_to_user", 100)
+    profiler.charge(core, "copy_to_user", 50)
+    assert profiler.core_cycles(core.key) == 150
+
+
+def test_total_cycles_sums_cores_of_one_host():
+    profiler = CpuProfiler()
+    profiler.charge(FakeCore("receiver", 0), "copy_to_user", 100)
+    profiler.charge(FakeCore("receiver", 1), "tcp_rcv_established", 40)
+    profiler.charge(FakeCore("sender", 0), "copy_from_user", 999)
+    assert profiler.total_cycles("receiver") == 140
+    assert profiler.total_cycles("sender") == 999
+
+
+def test_by_category_aggregates_operations():
+    profiler = CpuProfiler()
+    core = FakeCore("receiver", 0)
+    profiler.charge(core, "copy_to_user", 60)
+    profiler.charge(core, "skb_copy_datagram_iter", 40)
+    profiler.charge(core, "tcp_ack", 100)
+    by_cat = profiler.by_category("receiver")
+    assert by_cat[Category.DATA_COPY] == 100
+    assert by_cat[Category.TCPIP] == 100
+
+
+def test_category_fractions_sum_to_one():
+    profiler = CpuProfiler()
+    core = FakeCore("receiver", 0)
+    profiler.charge(core, "copy_to_user", 75)
+    profiler.charge(core, "tcp_ack", 25)
+    fractions = profiler.category_fractions("receiver")
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions[Category.DATA_COPY] == pytest.approx(0.75)
+
+
+def test_fractions_of_idle_host_are_zero():
+    fractions = CpuProfiler().category_fractions("receiver")
+    assert all(value == 0.0 for value in fractions.values())
+
+
+def test_reset_clears_everything():
+    profiler = CpuProfiler()
+    profiler.charge(FakeCore("receiver", 0), "copy_to_user", 100)
+    profiler.reset()
+    assert profiler.total_cycles("receiver") == 0
+
+
+def test_negative_charge_rejected():
+    profiler = CpuProfiler()
+    with pytest.raises(ValueError):
+        profiler.charge(FakeCore("receiver", 0), "copy_to_user", -1)
+
+
+def test_zero_charge_is_noop():
+    profiler = CpuProfiler()
+    profiler.charge(FakeCore("receiver", 0), "copy_to_user", 0)
+    assert profiler.total_cycles("receiver") == 0
+
+
+def test_busy_core_keys():
+    profiler = CpuProfiler()
+    profiler.charge(FakeCore("receiver", 3), "copy_to_user", 1)
+    assert list(profiler.busy_core_keys("receiver")) == [("receiver", 3)]

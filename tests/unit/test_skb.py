@@ -1,0 +1,23 @@
+"""Unit tests for the skb model."""
+
+from repro.kernel.skb import Skb
+
+
+def test_end_seq():
+    skb = Skb(flow_id=1, seq=1000, payload_bytes=500)
+    assert skb.end_seq == 1500
+
+
+def test_defaults():
+    skb = Skb(flow_id=1, seq=0, payload_bytes=100)
+    assert skb.regions == []
+    assert skb.nframes == 1
+    assert not skb.ecn
+    assert not skb.is_retransmit
+
+
+def test_regions_are_independent_per_instance():
+    a = Skb(flow_id=1, seq=0, payload_bytes=100)
+    b = Skb(flow_id=1, seq=0, payload_bytes=100)
+    a.regions.append((1, 100))
+    assert b.regions == []

@@ -1,0 +1,68 @@
+"""Unit tests for flow steering (RSS/aRFS/pinning)."""
+
+import random
+
+from repro.config import SteeringMode
+from repro.hardware.steering import SteeringEngine
+
+
+class FakeQueue:
+    def __init__(self, queue_id):
+        self.queue_id = queue_id
+
+
+def make_steering(num_queues=4, capacity=2):
+    steering = SteeringEngine(SteeringMode.RSS, random.Random(1), capacity)
+    queues = [FakeQueue(i) for i in range(num_queues)]
+    for queue in queues:
+        steering.register_queue(queue)
+    return steering, queues
+
+
+def test_hash_steering_is_stable():
+    steering, _ = make_steering()
+    first = steering.queue_for(42)
+    assert all(steering.queue_for(42) is first for _ in range(10))
+
+
+def test_arfs_entry_overrides_hash():
+    steering, queues = make_steering()
+    assert steering.install_arfs(7, queues[3])
+    assert steering.queue_for(7) is queues[3]
+
+
+def test_arfs_table_capacity_enforced():
+    steering, queues = make_steering(capacity=2)
+    assert steering.install_arfs(1, queues[0])
+    assert steering.install_arfs(2, queues[1])
+    assert not steering.install_arfs(3, queues[2])
+    assert steering.arfs_install_failures == 1
+
+
+def test_arfs_reinstall_same_flow_allowed_at_capacity():
+    steering, queues = make_steering(capacity=1)
+    assert steering.install_arfs(1, queues[0])
+    assert steering.install_arfs(1, queues[2])  # update, not a new entry
+    assert steering.queue_for(1) is queues[2]
+
+
+def test_pinned_flow_used_when_no_arfs():
+    steering, queues = make_steering()
+    steering.pin_flow(9, queues[2])
+    assert steering.queue_for(9) is queues[2]
+
+
+def test_arfs_beats_pinning():
+    steering, queues = make_steering()
+    steering.pin_flow(9, queues[2])
+    steering.install_arfs(9, queues[0])
+    assert steering.queue_for(9) is queues[0]
+
+
+def test_no_queues_registered_raises():
+    steering = SteeringEngine(SteeringMode.RSS, random.Random(1), 8)
+    try:
+        steering.queue_for(1)
+    except RuntimeError:
+        return
+    raise AssertionError("expected RuntimeError")

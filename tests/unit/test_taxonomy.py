@@ -1,0 +1,40 @@
+"""Unit tests for the Table-1 CPU taxonomy."""
+
+import pytest
+
+from repro.core.taxonomy import FUNCTION_CATEGORY, Category, categorize
+
+
+def test_eight_categories():
+    assert len(Category) == 8
+
+
+def test_every_function_maps_to_a_category():
+    for op in FUNCTION_CATEGORY:
+        assert isinstance(categorize(op), Category)
+
+
+def test_every_category_has_at_least_one_function():
+    covered = set(FUNCTION_CATEGORY.values())
+    assert covered == set(Category)
+
+
+def test_unknown_operation_raises():
+    with pytest.raises(KeyError):
+        categorize("definitely_not_a_kernel_symbol")
+
+
+def test_known_classifications_match_paper():
+    assert categorize("copy_to_user") is Category.DATA_COPY
+    assert categorize("tcp_rcv_established") is Category.TCPIP
+    assert categorize("dev_gro_receive") is Category.NETDEV
+    assert categorize("skb_release_data") is Category.SKB_MGMT
+    assert categorize("__alloc_pages_nodemask") is Category.MEMORY
+    assert categorize("lock_sock") is Category.LOCK
+    assert categorize("__schedule") is Category.SCHED
+    assert categorize("handle_irq_event") is Category.ETC
+
+
+def test_labels_are_human_readable():
+    assert Category.DATA_COPY.label == "data copy"
+    assert all(category.label for category in Category)

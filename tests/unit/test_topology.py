@@ -1,0 +1,63 @@
+"""Unit tests for the NUMA topology."""
+
+import pytest
+
+from repro.core.profiler import CpuProfiler
+from repro.costs.calibration import default_cost_model
+from repro.hardware.cpu import Core
+from repro.hardware.topology import Topology
+from repro.sim.engine import Engine
+
+
+def make_topology(num_nodes=4, cores_per_node=6, nic_node=0):
+    topology = Topology(num_nodes, cores_per_node, nic_node)
+    engine, profiler, costs = Engine(), CpuProfiler(), default_cost_model()
+    for core_id in range(topology.total_cores):
+        core = Core(engine, profiler, costs, "h", core_id,
+                    topology.node_of_core(core_id), 3.4e9)
+        topology.register_core(core)
+    return topology
+
+
+def test_total_cores():
+    assert make_topology().total_cores == 24
+
+
+def test_node_of_core_is_node_major():
+    topology = make_topology()
+    assert topology.node_of_core(0) == 0
+    assert topology.node_of_core(5) == 0
+    assert topology.node_of_core(6) == 1
+    assert topology.node_of_core(23) == 3
+
+
+def test_nic_local_first_ordering():
+    topology = make_topology(nic_node=0)
+    order = topology.cores_nic_local_first()
+    assert [c.numa_node for c in order[:6]] == [0] * 6
+    assert order[6].numa_node == 1
+
+
+def test_nic_remote_first_ordering():
+    topology = make_topology(nic_node=0)
+    order = topology.cores_nic_remote_first()
+    assert all(c.numa_node != 0 for c in order[:18])
+    assert all(c.numa_node == 0 for c in order[18:])
+
+
+def test_remote_core_is_on_other_node():
+    topology = make_topology()
+    local = topology.nodes[0].cores[0]
+    remote = topology.remote_core_for(local)
+    assert remote.numa_node != local.numa_node
+
+
+def test_remote_core_single_node_raises():
+    topology = make_topology(num_nodes=1)
+    with pytest.raises(ValueError):
+        topology.remote_core_for(topology.cores[0])
+
+
+def test_invalid_nic_node_rejected():
+    with pytest.raises(ValueError):
+        Topology(2, 6, nic_node=5)
