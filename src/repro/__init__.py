@@ -10,6 +10,12 @@ Public API quickstart::
     print(result.summary())
     print(result.receiver_breakdown.as_rows())
 
+Batches of independent configs parallelize and cache transparently::
+
+    from repro import ResultCache, run_many
+
+    results = run_many(configs, jobs=8, cache=ResultCache())
+
 See ``repro.figures`` for generators reproducing every figure of the paper's
 evaluation, and DESIGN.md for the system inventory.
 """
@@ -27,10 +33,12 @@ from .config import (
     TrafficPattern,
     WorkloadConfig,
 )
+from .core.cache import ResultCache
 from .core.experiment import Experiment
 from .core.metrics import LatencyStats, MetricsHub
 from .core.profiler import CpuProfiler
 from .core.results import BreakdownTable, ExperimentResult
+from .core.runner import RunnerStats, run_many
 from .core.taxonomy import Category
 from .costs.calibration import default_cost_model, zero_copy_cost_model
 from .costs.model import CostModel
@@ -53,11 +61,14 @@ __all__ = [
     "NicConfig",
     "NumaPolicy",
     "OptimizationConfig",
+    "ResultCache",
+    "RunnerStats",
     "SteeringMode",
     "TcpConfig",
     "TrafficPattern",
     "WorkloadConfig",
     "default_cost_model",
+    "run_many",
     "zero_copy_cost_model",
     "__version__",
 ]

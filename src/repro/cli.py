@@ -5,8 +5,15 @@ Usage examples::
     python -m repro run --pattern incast --flows 8
     python -m repro run --pattern single --no-arfs --loss 1.5e-3
     python -m repro figure fig3a
+    python -m repro figure fig3e --jobs 8        # fan the sweep out across workers
     python -m repro figure fig8c --export /tmp/fig8c.csv
+    python -m repro figure fig3a --no-cache      # force re-simulation
     python -m repro list
+
+Results are cached on disk keyed by a content hash of the full experiment
+config (see ``repro.core.cache``), so re-running an unchanged figure is a
+near-instant cache hit; ``--no-cache`` disables it and ``--cache-dir`` moves
+it (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-hostnet``).
 """
 
 from __future__ import annotations
@@ -27,9 +34,41 @@ from .config import (
     TrafficPattern,
     WorkloadConfig,
 )
-from .core.experiment import Experiment
+from .core.cache import ResultCache, default_cache_dir
 from .core.export import export_table, result_to_json
+from .core.runner import RunnerStats, run_many
+from .figures import base as figures_base
 from .units import kb, msec
+
+
+def _jobs_arg(text: str) -> int:
+    jobs = int(text)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one per CPU), got {jobs}"
+        )
+    return jobs
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Runner knobs shared by the ``run`` and ``figure`` subcommands."""
+    parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                        help="worker processes for independent experiments "
+                        "(0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-hostnet)")
+
+
+def _runner_settings(args: argparse.Namespace):
+    """Map parsed runner flags to ``(jobs, cache)`` for run_many."""
+    jobs = None if args.jobs == 0 else args.jobs
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir if args.cache_dir else default_cache_dir()
+    )
+    return jobs, cache
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,10 +105,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rpc-flows", type=int, default=0,
                      help="short flows for the mixed pattern")
     run.add_argument("--json", action="store_true", help="emit JSON")
+    _add_runner_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure panel")
     figure.add_argument("name", help="e.g. fig3a, fig8c, table1")
     figure.add_argument("--export", help="write the table to a .csv/.json file")
+    _add_runner_args(figure)
 
     sub.add_parser("list", help="list available figure panels")
     return parser
@@ -123,7 +164,12 @@ def _panel_registry() -> dict:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = Experiment(_config_from_args(args)).run()
+    jobs, cache = _runner_settings(args)
+    stats = RunnerStats()
+    result = run_many([_config_from_args(args)], jobs=jobs, cache=cache,
+                      stats=stats)[0]
+    if stats.cache_hits:
+        print("(served from result cache)", file=sys.stderr)
     if args.json:
         print(result_to_json(result))
         return 0
@@ -145,7 +191,20 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
               file=sys.stderr)
         return 2
-    table = generator()
+    jobs, cache = _runner_settings(args)
+    figures_base.configure(jobs=jobs, cache=cache)
+    figures_base.STATS.reset()
+    try:
+        table = generator()
+    finally:
+        figures_base.configure()  # restore the sequential, uncached default
+    stats = figures_base.STATS
+    if stats.experiments_run or stats.cache_hits:
+        print(
+            f"runner: {stats.experiments_run} experiments simulated, "
+            f"{stats.cache_hits} served from cache",
+            file=sys.stderr,
+        )
     print(table.render())
     if args.export:
         export_table(table, args.export)

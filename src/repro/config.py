@@ -191,6 +191,17 @@ class ExperimentConfig:
         """Return a copy with top-level fields overridden."""
         return dataclasses.replace(self, **kwargs)
 
+    def to_canonical_dict(self) -> dict:
+        """A canonical, JSON-stable view of every field (nested configs
+        included), suitable for content-addressed hashing.
+
+        Two configs that compare equal produce identical canonical dicts;
+        changing *any* field (including ``cost_overrides`` entries and the
+        seed) changes the output. Used by :mod:`repro.core.cache` to key the
+        on-disk result cache.
+        """
+        return _canonicalize(self)
+
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent configurations."""
         if self.num_flows < 1:
@@ -214,3 +225,29 @@ class ExperimentConfig:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.link.loss_rate > 0 and not self.link.has_switch:
             raise ValueError("packet loss requires has_switch=True (drops happen there)")
+
+
+def _canonicalize(value: object) -> object:
+    """Recursively convert config values into JSON-stable primitives.
+
+    Dataclasses become field-name dicts, enums their values, and dict keys are
+    stringified and sorted so ``json.dumps(..., sort_keys=True)`` over the
+    output is a stable canonical encoding.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {
+            str(key): _canonicalize(val)
+            for key, val in sorted(value.items(), key=lambda item: str(item[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize config value of type {type(value)!r}")

@@ -6,6 +6,8 @@ from .profiler import CpuProfiler
 from .metrics import SideMetrics, LatencyStats
 from .results import ExperimentResult, BreakdownTable
 from .experiment import Experiment
+from .cache import CACHE_SCHEMA_VERSION, ResultCache, config_cache_key
+from .runner import RunnerStats, run_many
 
 __all__ = [
     "Category",
@@ -17,4 +19,9 @@ __all__ = [
     "ExperimentResult",
     "BreakdownTable",
     "Experiment",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "config_cache_key",
+    "RunnerStats",
+    "run_many",
 ]

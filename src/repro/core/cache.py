@@ -1,0 +1,127 @@
+"""Persistent, content-addressed cache of experiment results.
+
+Experiments are deterministic functions of their :class:`ExperimentConfig`
+(all dataclass fields, ``cost_overrides`` included, plus the seed), so a
+result can be stored on disk under a stable content hash of the config and
+replayed instead of re-simulated. Regenerating an unchanged figure then costs
+a handful of small JSON reads instead of seconds of DES time.
+
+Layout: ``<cache_dir>/v<schema>/<key[:2]>/<key>.json``. Each entry stores the
+canonical config alongside the :func:`result_to_dict` payload, so entries are
+self-describing and auditable. Bumping :data:`CACHE_SCHEMA_VERSION` (done
+whenever the simulator's behaviour or the result encoding changes
+incompatibly) orphans every old entry without touching them on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..config import ExperimentConfig
+from .export import result_from_dict, result_to_dict
+from .results import ExperimentResult
+
+#: Bump whenever simulator behaviour or the result encoding changes in a way
+#: that makes previously cached results stale.
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_cache_key(
+    config: ExperimentConfig, schema_version: int = CACHE_SCHEMA_VERSION
+) -> str:
+    """Stable SHA-256 content hash of a config under a cache schema version."""
+    document = json.dumps(
+        {"schema_version": schema_version, "config": config.to_canonical_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-hostnet``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    return str(Path.home() / ".cache" / "repro-hostnet")
+
+
+class ResultCache:
+    """On-disk result store keyed by config content hash.
+
+    ``get``/``put`` are the whole interface the runner needs; hit/miss
+    counters let callers (and tests) observe cache effectiveness.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(cache_dir if cache_dir is not None else default_cache_dir())
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, config: ExperimentConfig) -> str:
+        return config_cache_key(config, self.schema_version)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{self.schema_version}" / key[:2] / f"{key}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The cached result for ``config``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries (interrupted writes, foreign files) are
+        treated as misses rather than errors — the runner just re-simulates.
+        """
+        path = self.path_for(self.key(config))
+        try:
+            payload = json.loads(path.read_text())
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult) -> Path:
+        """Store ``result`` under ``config``'s key; returns the entry path."""
+        key = self.key(config)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = json.dumps(
+            {
+                "key": key,
+                "schema_version": self.schema_version,
+                "config": config.to_canonical_dict(),
+                "result": result_to_dict(result),
+            },
+            sort_keys=True,
+        )
+        # Write-then-rename so readers never observe a half-written entry.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(document)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry of this cache's schema version; returns count."""
+        removed = 0
+        version_root = self.root / f"v{self.schema_version}"
+        if not version_root.exists():
+            return 0
+        for entry in sorted(version_root.rglob("*.json")):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        version_root = self.root / f"v{self.schema_version}"
+        if not version_root.exists():
+            return 0
+        return sum(1 for _ in version_root.rglob("*.json"))

@@ -11,8 +11,9 @@ import io
 import json
 from typing import Union
 
+from .metrics import LatencyStats
 from .report import Table
-from .results import ExperimentResult
+from .results import BreakdownTable, ExperimentResult
 from .taxonomy import Category
 
 
@@ -48,14 +49,66 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "timeouts": result.timeouts,
         "nic_rx_drops": result.nic_rx_drops,
         "wire_drops": result.wire_drops,
+        "acks_received_sender_side": result.acks_received_sender_side,
         "throughput_by_tag_gbps": dict(result.throughput_by_tag_gbps),
         "per_flow_gbps": {str(k): v for k, v in sorted(result.per_flow_gbps.items())},
     }
 
 
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`: rebuild an :class:`ExperimentResult`.
+
+    Lossless: ``result_to_dict(result_from_dict(d)) == d`` for any dict
+    produced by :func:`result_to_dict`. Derived quantities present in the
+    payload (``bottleneck_side``, per-core throughputs) are ignored and
+    recomputed from the stored fields. The result cache relies on this
+    round-trip for its correctness invariant.
+    """
+    latency = payload["copy_latency_ns"]
+    return ExperimentResult(
+        config_summary=payload["config"],
+        duration_ns=payload["duration_ns"],
+        total_throughput_gbps=payload["total_throughput_gbps"],
+        sender_utilization_cores=payload["sender_utilization_cores"],
+        receiver_utilization_cores=payload["receiver_utilization_cores"],
+        sender_breakdown=_breakdown_from_dict(payload["sender_breakdown"]),
+        receiver_breakdown=_breakdown_from_dict(payload["receiver_breakdown"]),
+        receiver_cache_miss_rate=payload["receiver_cache_miss_rate"],
+        sender_cache_miss_rate=payload["sender_cache_miss_rate"],
+        copy_latency=LatencyStats(
+            count=latency["count"],
+            avg_ns=latency["avg"],
+            p50_ns=latency["p50"],
+            p99_ns=latency["p99"],
+            max_ns=latency["max"],
+        ),
+        rx_skb_sizes={int(size): count
+                      for size, count in payload["rx_skb_sizes"].items()},
+        retransmits=payload["retransmits"],
+        timeouts=payload["timeouts"],
+        nic_rx_drops=payload["nic_rx_drops"],
+        wire_drops=payload["wire_drops"],
+        acks_received_sender_side=payload.get("acks_received_sender_side", 0),
+        throughput_by_tag_gbps=dict(payload["throughput_by_tag_gbps"]),
+        per_flow_gbps={int(flow): gbps
+                       for flow, gbps in payload["per_flow_gbps"].items()},
+    )
+
+
+def _breakdown_from_dict(fractions: dict) -> BreakdownTable:
+    return BreakdownTable(
+        {Category(name): fraction for name, fraction in fractions.items()}
+    )
+
+
 def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
     """Serialize one result as a JSON document."""
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_json(document: str) -> ExperimentResult:
+    """Inverse of :func:`result_to_json`."""
+    return result_from_dict(json.loads(document))
 
 
 def table_to_csv(table: Table) -> str:

@@ -1,0 +1,103 @@
+"""Parallel experiment runner with optional persistent result caching.
+
+Every experiment is an independent, deterministic function of its config, so
+a batch of configs can fan out across a process pool with no coordination:
+``run_many([c1, c2, ...], jobs=8)`` returns results in input order, identical
+(via :func:`result_to_dict`) to running each config sequentially in-process.
+
+Workers ship results back as :func:`result_to_dict` payloads and the parent
+rebuilds them with :func:`result_from_dict` — the same lossless round-trip
+the on-disk cache uses — so in-process, worker-process, and cache-served
+results are byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..config import ExperimentConfig
+from .cache import ResultCache
+from .experiment import Experiment
+from .export import result_from_dict, result_to_dict
+from .results import ExperimentResult
+
+
+@dataclass
+class RunnerStats:
+    """Observable counters for one or more :func:`run_many` calls."""
+
+    experiments_run: int = 0   # actual Experiment(...).run() invocations
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def reset(self) -> None:
+        self.experiments_run = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+def _execute(config: ExperimentConfig) -> dict:
+    """Worker entry point: simulate one config, return its flat payload.
+
+    Module-level (hence picklable) and dict-valued so the pool never has to
+    pickle live simulator objects back to the parent.
+    """
+    return result_to_dict(Experiment(config).run())
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None`` means one worker per CPU; otherwise ``jobs`` must be >= 1."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_many(
+    configs: Iterable[ExperimentConfig],
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[RunnerStats] = None,
+) -> List[ExperimentResult]:
+    """Run every config, in input order, fanning cache misses out to workers.
+
+    ``jobs=1`` runs in-process (no pool spawn cost); ``jobs=N`` uses up to N
+    worker processes; ``jobs=None`` uses one per CPU. With a ``cache``, hits
+    skip simulation entirely and fresh results are persisted for next time.
+    """
+    configs = list(configs)
+    jobs = resolve_jobs(jobs)
+    stats = stats if stats is not None else RunnerStats()
+
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    miss_indices: List[int] = []
+    if cache is not None:
+        for index, config in enumerate(configs):
+            cached = cache.get(config)
+            if cached is not None:
+                results[index] = cached
+                stats.cache_hits += 1
+            else:
+                miss_indices.append(index)
+                stats.cache_misses += 1
+    else:
+        miss_indices = list(range(len(configs)))
+
+    miss_configs = [configs[index] for index in miss_indices]
+    if len(miss_configs) > 1 and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(miss_configs))) as pool:
+            payloads = list(pool.map(_execute, miss_configs))
+    else:
+        payloads = [_execute(config) for config in miss_configs]
+    stats.experiments_run += len(miss_configs)
+
+    for index, payload in zip(miss_indices, payloads):
+        result = result_from_dict(payload)
+        if cache is not None:
+            cache.put(configs[index], result)
+        results[index] = result
+    return results  # type: ignore[return-value]  # every slot is filled above

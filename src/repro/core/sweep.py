@@ -1,12 +1,18 @@
-"""Parameter sweeps: run a family of configurations and collect results."""
+"""Parameter sweeps: run a family of configurations and collect results.
+
+Built on :func:`repro.core.runner.run_many`, so every sweep transparently
+parallelizes across worker processes (``jobs``) and can be served from the
+persistent result cache (``cache``) without the call sites changing shape.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..config import ExperimentConfig
-from .experiment import Experiment
+from .cache import ResultCache
 from .results import ExperimentResult
+from .runner import RunnerStats, run_many
 
 ConfigFactory = Callable[[object], ExperimentConfig]
 
@@ -14,17 +20,27 @@ ConfigFactory = Callable[[object], ExperimentConfig]
 def run_sweep(
     values: Iterable[object],
     make_config: ConfigFactory,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[RunnerStats] = None,
 ) -> List[Tuple[object, ExperimentResult]]:
     """Run ``make_config(v)`` for every sweep value and collect results."""
-    out: List[Tuple[object, ExperimentResult]] = []
-    for value in values:
-        config = make_config(value)
-        out.append((value, Experiment(config).run()))
-    return out
+    values = list(values)
+    results = run_many(
+        [make_config(value) for value in values], jobs=jobs, cache=cache, stats=stats
+    )
+    return list(zip(values, results))
 
 
 def run_labeled(
     configs: Iterable[Tuple[str, ExperimentConfig]],
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[RunnerStats] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run a list of ``(label, config)`` pairs (e.g. the Fig-3a ladder)."""
-    return {label: Experiment(config).run() for label, config in configs}
+    pairs = list(configs)
+    results = run_many(
+        [config for _, config in pairs], jobs=jobs, cache=cache, stats=stats
+    )
+    return {label: result for (label, _), result in zip(pairs, results)}

@@ -4,15 +4,23 @@ Simulated durations are short (milliseconds) because steady-state rates
 converge quickly; warmups are sized per scenario so receive-buffer autotuning
 and queue fill transients complete before measurement (incast with many
 autotuned flows needs the longest warmup).
+
+All figure experiments flow through :func:`run_all`, which hands the batch to
+:func:`repro.core.runner.run_many`. The module-level runtime (set by
+``repro figure --jobs/--cache-dir`` via :func:`configure`) decides how many
+worker processes to use and whether results come from / go to the persistent
+result cache; the default (one process, no cache) matches the historical
+sequential behaviour exactly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from ..config import ExperimentConfig, TrafficPattern
-from ..core.experiment import Experiment
+from ..core.cache import ResultCache
 from ..core.results import ExperimentResult
+from ..core.runner import RunnerStats, run_many
 from ..units import msec
 
 #: Measurement window used by all figures.
@@ -29,14 +37,50 @@ WARMUP_NS = {
     TrafficPattern.MIXED: msec(12),
 }
 
+#: Process-pool width for figure batches (1 = in-process, None = per-CPU).
+_JOBS: Optional[int] = 1
+#: Shared result cache, or None to always simulate.
+_CACHE: Optional[ResultCache] = None
+#: Counters accumulated across every figure run since the last reset.
+STATS = RunnerStats()
 
-def run(config: ExperimentConfig, warmup_ns: Optional[int] = None) -> ExperimentResult:
-    """Run ``config`` with figure-standard duration/warmup."""
+
+def configure(jobs: Optional[int] = 1, cache: Optional[ResultCache] = None) -> None:
+    """Set the runner used by every subsequent figure generation."""
+    global _JOBS, _CACHE
+    _JOBS = jobs
+    _CACHE = cache
+
+
+def runtime() -> tuple:
+    """The currently configured ``(jobs, cache)`` pair."""
+    return _JOBS, _CACHE
+
+
+def prepare(
+    config: ExperimentConfig, warmup_ns: Optional[int] = None
+) -> ExperimentConfig:
+    """Apply the figure-standard duration/warmup to ``config``."""
     if warmup_ns is None:
         warmup_ns = WARMUP_NS[config.pattern]
-    return Experiment(
-        config.replace(duration_ns=DURATION_NS, warmup_ns=warmup_ns)
-    ).run()
+    return config.replace(duration_ns=DURATION_NS, warmup_ns=warmup_ns)
+
+
+def run_all(
+    configs: Iterable[ExperimentConfig], warmup_ns: Optional[int] = None
+) -> List[ExperimentResult]:
+    """Run a figure's whole batch of configs with figure-standard windows.
+
+    Results come back in input order; independent configs fan out across the
+    configured worker pool and are served from the result cache when warm.
+    """
+    prepared = [prepare(config, warmup_ns) for config in configs]
+    return run_many(prepared, jobs=_JOBS, cache=_CACHE, stats=STATS)
+
+
+def run(config: ExperimentConfig, warmup_ns: Optional[int] = None) -> ExperimentResult:
+    """Run one config with figure-standard duration/warmup."""
+    return run_all([config], warmup_ns=warmup_ns)[0]
 
 
 def pct(fraction: float) -> str:

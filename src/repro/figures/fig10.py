@@ -20,7 +20,7 @@ from ..config import (
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
 from ..units import kb
-from .base import pct, run
+from .base import pct, run_all
 
 RPC_SIZES_KB = (4, 16, 32, 64)
 NUM_CLIENTS = 16
@@ -41,7 +41,8 @@ def _config(
 
 
 def _all_opt_results(sizes=RPC_SIZES_KB) -> List[Tuple[int, ExperimentResult]]:
-    return [(s, run(_config(s))) for s in sizes]
+    results = run_all([_config(s) for s in sizes])
+    return list(zip(sizes, results))
 
 
 def fig10a(sizes: Tuple[int, ...] = RPC_SIZES_KB) -> Table:
@@ -50,15 +51,19 @@ def fig10a(sizes: Tuple[int, ...] = RPC_SIZES_KB) -> Table:
         "Fig 10a: 16:1 RPC throughput-per-server-core (Gbps) vs RPC size",
         ["rpc_size_kb", "config", "thpt_per_server_core_gbps", "total_thpt_gbps"],
     )
-    for size in sizes:
-        for label, opts in OptimizationConfig.incremental_ladder():
-            result = run(_config(size, opts))
-            table.add_row(
-                size,
-                label,
-                result.throughput_per_receiver_core_gbps,
-                result.total_throughput_gbps,
-            )
+    cells = [
+        (size, label, _config(size, opts))
+        for size in sizes
+        for label, opts in OptimizationConfig.incremental_ladder()
+    ]
+    results = run_all([config for _, _, config in cells])
+    for (size, label, _), result in zip(cells, results):
+        table.add_row(
+            size,
+            label,
+            result.throughput_per_receiver_core_gbps,
+            result.total_throughput_gbps,
+        )
     return table
 
 
@@ -77,11 +82,12 @@ def fig10c(size_kb: int = 4) -> Table:
         "Fig 10c: 4KB RPCs, server on NIC-local vs NIC-remote NUMA node",
         ["placement", "thpt_per_server_core_gbps", "server_miss_rate"],
     )
-    for label, numa in (
+    placements = (
         ("NIC-local NUMA", NumaPolicy.NIC_LOCAL_FIRST),
         ("NIC-remote NUMA", NumaPolicy.NIC_REMOTE),
-    ):
-        result = run(_config(size_kb, numa=numa))
+    )
+    results = run_all([_config(size_kb, numa=numa) for _, numa in placements])
+    for (label, _), result in zip(placements, results):
         table.add_row(
             label,
             result.throughput_per_receiver_core_gbps,

@@ -12,7 +12,7 @@ from typing import Dict, List, Tuple
 from ..config import ExperimentConfig, TrafficPattern, WorkloadConfig
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import run
+from .base import run_all
 
 SHORT_FLOW_COUNTS = (0, 1, 4, 16)
 
@@ -27,7 +27,8 @@ def _config(num_short: int, include_long: bool = True) -> ExperimentConfig:
 
 
 def _results(counts=SHORT_FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
-    return [(n, run(_config(n))) for n in counts]
+    results = run_all([_config(n) for n in counts])
+    return list(zip(counts, results))
 
 
 def fig11a(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
@@ -57,9 +58,11 @@ def fig11b(results: List[Tuple[int, ExperimentResult]] = None) -> Table:
 
 def isolation_comparison(num_short: int = 16) -> Table:
     """The §3.7 headline: long/short throughput in isolation vs mixed."""
-    long_alone = run(_config(0))
-    short_alone = run(_config(num_short, include_long=False))
-    mixed = run(_config(num_short))
+    long_alone, short_alone, mixed = run_all([
+        _config(0),
+        _config(num_short, include_long=False),
+        _config(num_short),
+    ])
     table = Table(
         "Fig 11 (text): isolation vs mixing on one core (Gbps)",
         ["workload", "long_gbps", "short_gbps"],

@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 from ..config import ExperimentConfig, HostConfig, OptimizationConfig
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import pct, run
+from .base import pct, run_all
 
 CONFIGS: List[Tuple[str, HostConfig]] = [
     ("Default", HostConfig()),
@@ -23,7 +23,8 @@ CONFIGS: List[Tuple[str, HostConfig]] = [
 
 
 def _results() -> List[Tuple[str, ExperimentResult]]:
-    return [(label, run(ExperimentConfig(host=host))) for label, host in CONFIGS]
+    results = run_all([ExperimentConfig(host=host) for _, host in CONFIGS])
+    return [(label, result) for (label, _), result in zip(CONFIGS, results)]
 
 
 def fig12a() -> Table:
@@ -32,15 +33,19 @@ def fig12a() -> Table:
         "Fig 12a: throughput-per-core (Gbps): default vs DCA off vs IOMMU on",
         ["host_config", "opt_config", "thpt_per_core_gbps", "receiver_miss_rate"],
     )
-    for host_label, host in CONFIGS:
-        for opt_label, opts in OptimizationConfig.incremental_ladder():
-            result = run(ExperimentConfig(host=host, opts=opts))
-            table.add_row(
-                host_label,
-                opt_label,
-                result.throughput_per_core_gbps,
-                pct(result.receiver_cache_miss_rate),
-            )
+    cells = [
+        (host_label, opt_label, ExperimentConfig(host=host, opts=opts))
+        for host_label, host in CONFIGS
+        for opt_label, opts in OptimizationConfig.incremental_ladder()
+    ]
+    results = run_all([config for _, _, config in cells])
+    for (host_label, opt_label, _), result in zip(cells, results):
+        table.add_row(
+            host_label,
+            opt_label,
+            result.throughput_per_core_gbps,
+            pct(result.receiver_cache_miss_rate),
+        )
     return table
 
 

@@ -12,7 +12,7 @@ from typing import Dict, List, Tuple
 from ..config import CongestionControl, ExperimentConfig, LinkConfig, TcpConfig
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import run
+from .base import run_all
 
 PROTOCOLS = (
     CongestionControl.CUBIC,
@@ -30,7 +30,8 @@ def _config(cc: CongestionControl) -> ExperimentConfig:
 
 
 def _results() -> List[Tuple[str, ExperimentResult]]:
-    return [(cc.value, run(_config(cc))) for cc in PROTOCOLS]
+    results = run_all([_config(cc) for cc in PROTOCOLS])
+    return [(cc.value, result) for cc, result in zip(PROTOCOLS, results)]
 
 
 def fig13a(results: List[Tuple[str, ExperimentResult]] = None) -> Table:

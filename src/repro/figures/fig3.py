@@ -17,7 +17,7 @@ from ..config import ExperimentConfig, NicConfig, OptimizationConfig, TcpConfig
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
 from ..units import kb
-from .base import pct, run
+from .base import pct, run_all
 
 #: Fig 3e sweep axes (paper: ring 128..8192, buffers 3200KB/6400KB/Default).
 RING_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
@@ -26,11 +26,18 @@ RX_BUFFERS_KB = (3200, 6400)
 LATENCY_BUFFERS_KB = (100, 200, 400, 800, 1600, 3200, 6400, 12800)
 
 
-def _ladder_results() -> List[Tuple[str, ExperimentResult]]:
+def ladder_configs() -> List[Tuple[str, ExperimentConfig]]:
+    """The Fig-3a incremental-optimization ladder as (label, config) pairs."""
     return [
-        (label, run(ExperimentConfig(opts=opts)))
+        (label, ExperimentConfig(opts=opts))
         for label, opts in OptimizationConfig.incremental_ladder()
     ]
+
+
+def _ladder_results() -> List[Tuple[str, ExperimentResult]]:
+    ladder = ladder_configs()
+    results = run_all([config for _, config in ladder])
+    return [(label, result) for (label, _), result in zip(ladder, results)]
 
 
 def fig3a(results: List[Tuple[str, ExperimentResult]] = None) -> Table:
@@ -92,28 +99,27 @@ def fig3e(
         "Fig 3e: throughput (Gbps) and L3 miss rate vs NIC ring size and Rx buffer",
         ["ring_size", "rx_buffer", "thpt_gbps", "miss_rate"],
     )
+    cells: List[Tuple[int, str, ExperimentConfig]] = []
     for ring in ring_sizes:
         for buffer_kb in buffers_kb:
-            result = run(
+            cells.append((
+                ring,
+                f"{buffer_kb}KB",
                 ExperimentConfig(
                     nic=NicConfig(rx_descriptors=ring),
                     tcp=TcpConfig(
                         rx_buffer_bytes=kb(buffer_kb), autotune_rx_buffer=False
                     ),
-                )
-            )
-            table.add_row(
-                ring,
-                f"{buffer_kb}KB",
-                result.total_throughput_gbps,
-                pct(result.receiver_cache_miss_rate),
-            )
-        default = run(ExperimentConfig(nic=NicConfig(rx_descriptors=ring)))
+                ),
+            ))
+        cells.append((ring, "Default", ExperimentConfig(nic=NicConfig(rx_descriptors=ring))))
+    results = run_all([config for _, _, config in cells])
+    for (ring, label, _), result in zip(cells, results):
         table.add_row(
             ring,
-            "Default",
-            default.total_throughput_gbps,
-            pct(default.receiver_cache_miss_rate),
+            label,
+            result.total_throughput_gbps,
+            pct(result.receiver_cache_miss_rate),
         )
     return table
 
@@ -124,12 +130,13 @@ def fig3f(buffers_kb: Tuple[int, ...] = LATENCY_BUFFERS_KB) -> Table:
         "Fig 3f: stack latency from NAPI to data copy vs TCP Rx buffer size",
         ["rx_buffer_kb", "avg_latency_us", "p99_latency_us", "thpt_gbps"],
     )
-    for buffer_kb in buffers_kb:
-        result = run(
-            ExperimentConfig(
-                tcp=TcpConfig(rx_buffer_bytes=kb(buffer_kb), autotune_rx_buffer=False)
-            )
+    results = run_all([
+        ExperimentConfig(
+            tcp=TcpConfig(rx_buffer_bytes=kb(buffer_kb), autotune_rx_buffer=False)
         )
+        for buffer_kb in buffers_kb
+    ])
+    for buffer_kb, result in zip(buffers_kb, results):
         table.add_row(
             buffer_kb,
             result.copy_latency.avg_ns / 1000,

@@ -11,16 +11,15 @@ from typing import Dict
 from ..config import ExperimentConfig, NumaPolicy
 from ..core.report import Table
 from ..core.results import ExperimentResult
-from .base import pct, run
+from .base import pct, run_all
 
 
 def results() -> Dict[str, ExperimentResult]:
-    return {
-        "NIC-local NUMA": run(ExperimentConfig()),
-        "NIC-remote NUMA": run(
-            ExperimentConfig(numa_policy=NumaPolicy.NIC_REMOTE)
-        ),
-    }
+    local, remote = run_all([
+        ExperimentConfig(),
+        ExperimentConfig(numa_policy=NumaPolicy.NIC_REMOTE),
+    ])
+    return {"NIC-local NUMA": local, "NIC-remote NUMA": remote}
 
 
 def fig4(data: Dict[str, ExperimentResult] = None) -> Table:

@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 from ..config import ExperimentConfig, OptimizationConfig, TrafficPattern
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import run
+from .base import run_all
 
 FLOW_COUNTS = (1, 8, 16, 24)
 
@@ -25,7 +25,8 @@ def _config(flows: int, opts: OptimizationConfig) -> ExperimentConfig:
 
 
 def _all_opt_results(flows=FLOW_COUNTS) -> List[Tuple[int, ExperimentResult]]:
-    return [(n, run(_config(n, OptimizationConfig.all()))) for n in flows]
+    results = run_all([_config(n, OptimizationConfig.all()) for n in flows])
+    return list(zip(flows, results))
 
 
 def fig5a(flows: Tuple[int, ...] = FLOW_COUNTS) -> Table:
@@ -34,12 +35,16 @@ def fig5a(flows: Tuple[int, ...] = FLOW_COUNTS) -> Table:
         "Fig 5a: one-to-one throughput-per-core (Gbps)",
         ["flows", "config", "thpt_per_core_gbps", "total_thpt_gbps"],
     )
-    for n in flows:
-        for label, opts in OptimizationConfig.incremental_ladder():
-            result = run(_config(n, opts))
-            table.add_row(
-                n, label, result.throughput_per_core_gbps, result.total_throughput_gbps
-            )
+    cells = [
+        (n, label, _config(n, opts))
+        for n in flows
+        for label, opts in OptimizationConfig.incremental_ladder()
+    ]
+    results = run_all([config for _, _, config in cells])
+    for (n, label, _), result in zip(cells, results):
+        table.add_row(
+            n, label, result.throughput_per_core_gbps, result.total_throughput_gbps
+        )
     return table
 
 

@@ -12,7 +12,7 @@ from typing import Dict, List, Tuple
 from ..config import ExperimentConfig, OptimizationConfig, TrafficPattern
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import run
+from .base import run_all
 
 SIDE_COUNTS = (1, 8, 16, 24)
 
@@ -26,7 +26,8 @@ def _config(side: int, opts: OptimizationConfig = None) -> ExperimentConfig:
 
 
 def _all_opt_results(sides=SIDE_COUNTS) -> List[Tuple[int, ExperimentResult]]:
-    return [(x, run(_config(x))) for x in sides]
+    results = run_all([_config(x) for x in sides])
+    return list(zip(sides, results))
 
 
 def fig8a(sides: Tuple[int, ...] = SIDE_COUNTS) -> Table:
@@ -35,15 +36,19 @@ def fig8a(sides: Tuple[int, ...] = SIDE_COUNTS) -> Table:
         "Fig 8a: all-to-all throughput-per-core (Gbps)",
         ["flows", "config", "thpt_per_core_gbps", "total_thpt_gbps"],
     )
-    for x in sides:
-        for label, opts in OptimizationConfig.incremental_ladder():
-            result = run(_config(x, opts))
-            table.add_row(
-                f"{x}x{x}",
-                label,
-                result.throughput_per_core_gbps,
-                result.total_throughput_gbps,
-            )
+    cells = [
+        (x, label, _config(x, opts))
+        for x in sides
+        for label, opts in OptimizationConfig.incremental_ladder()
+    ]
+    results = run_all([config for _, _, config in cells])
+    for (x, label, _), result in zip(cells, results):
+        table.add_row(
+            f"{x}x{x}",
+            label,
+            result.throughput_per_core_gbps,
+            result.total_throughput_gbps,
+        )
     return table
 
 

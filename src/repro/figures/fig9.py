@@ -12,7 +12,7 @@ from typing import Dict, List, Tuple
 from ..config import ExperimentConfig, LinkConfig
 from ..core.report import Table, render_breakdown_table
 from ..core.results import ExperimentResult
-from .base import run
+from .base import run_all
 
 LOSS_RATES = (0.0, 1.5e-4, 1.5e-3, 1.5e-2)
 
@@ -22,7 +22,8 @@ def _config(loss: float) -> ExperimentConfig:
 
 
 def _results(rates=LOSS_RATES) -> List[Tuple[float, ExperimentResult]]:
-    return [(p, run(_config(p))) for p in rates]
+    results = run_all([_config(p) for p in rates])
+    return list(zip(rates, results))
 
 
 def fig9a(results: List[Tuple[float, ExperimentResult]] = None) -> Table:

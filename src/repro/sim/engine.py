@@ -2,6 +2,12 @@
 
 Time is kept in integer nanoseconds. Events scheduled for the same timestamp
 fire in scheduling order (FIFO), which keeps the simulation deterministic.
+
+Cancellation is lazy (events are flagged, not removed — O(1)), but the engine
+counts cancelled events still sitting in the heap and compacts it in place
+once they dominate, so workloads that constantly re-arm timers (TCP RTO,
+delayed ACKs, pacing) don't drag a growing tail of dead events through every
+heap operation.
 """
 
 from __future__ import annotations
@@ -9,11 +15,15 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+#: Compact the heap when at least this many cancelled events are queued *and*
+#: they outnumber the live ones (amortizes the O(n) sweep).
+_COMPACT_MIN_CANCELLED = 512
+
 
 class Event:
     """A scheduled callback. Returned by :meth:`Engine.schedule` for cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "engine")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -21,10 +31,15 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.engine: Optional["Engine"] = None  # set while queued
 
     def cancel(self) -> None:
         """Prevent this event from firing. Safe to call multiple times."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -45,6 +60,7 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> int:
@@ -57,6 +73,7 @@ class Engine:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         self._seq += 1
         event = Event(time, self._seq, fn, args)
+        event.engine = self
         heapq.heappush(self._queue, event)
         return event
 
@@ -70,6 +87,26 @@ class Engine:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a cancel of a still-queued event; maybe compact."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify, in place.
+
+        In-place (slice assignment) so the ``run()`` loop's local alias of the
+        queue stays valid even when a fired callback's cancel triggers this.
+        """
+        queue = self._queue
+        queue[:] = [event for event in queue if not event.cancelled]
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+
     def run(self, until: Optional[int] = None) -> int:
         """Run events until the queue drains, ``stop()`` is called, or
         virtual time would exceed ``until``.
@@ -80,15 +117,21 @@ class Engine:
         """
         self._running = True
         self._stopped = False
+        # Hot loop: hoist attribute lookups out of the per-event path.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
+            while queue and not self._stopped:
+                event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
+                    event.engine = None
+                    self._cancelled_in_queue -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
+                event.engine = None
                 self._now = event.time
                 event.fn(*event.args)
         finally:
@@ -98,5 +141,5 @@ class Engine:
         return self._now
 
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events; O(n), for tests/debugging."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events. O(1)."""
+        return len(self._queue) - self._cancelled_in_queue

@@ -8,12 +8,16 @@ import pytest
 
 from repro.core.export import (
     export_table,
+    result_from_dict,
+    result_from_json,
     result_to_dict,
     result_to_json,
     table_to_csv,
     table_to_json,
 )
+from repro.core.metrics import LatencyStats
 from repro.core.report import Table
+from repro.core.taxonomy import Category
 
 from .test_results import make_result
 
@@ -32,6 +36,49 @@ def test_result_to_dict_round_trips_through_json():
 def test_result_to_json_is_valid_json():
     document = json.loads(result_to_json(make_result()))
     assert "copy_latency_ns" in document
+
+
+def rich_result():
+    """A result exercising every field the round-trip must preserve."""
+    result = make_result(total=33.0, skb_sizes={1500: 3, 9000: 7, 65536: 2})
+    result.copy_latency = LatencyStats(
+        count=12, avg_ns=810.5, p50_ns=700.0, p99_ns=2100.0, max_ns=2500.0
+    )
+    result.retransmits = 4
+    result.timeouts = 1
+    result.nic_rx_drops = 2
+    result.wire_drops = 3
+    result.acks_received_sender_side = 99
+    result.throughput_by_tag_gbps = {"long": 20.0, "short": 13.0}
+    result.per_flow_gbps = {0: 20.0, 7: 13.0}
+    return result
+
+
+def test_result_from_dict_is_lossless_inverse():
+    payload = result_to_dict(rich_result())
+    assert result_to_dict(result_from_dict(payload)) == payload
+
+
+def test_result_from_dict_survives_json_round_trip():
+    payload = json.loads(json.dumps(result_to_dict(rich_result())))
+    rebuilt = result_from_dict(payload)
+    assert rebuilt.rx_skb_sizes == {1500: 3, 9000: 7, 65536: 2}  # int keys again
+    assert rebuilt.per_flow_gbps == {0: 20.0, 7: 13.0}
+    assert rebuilt.copy_latency.p99_ns == 2100.0
+    assert rebuilt.acks_received_sender_side == 99
+    assert rebuilt.sender_breakdown.fraction(Category.DATA_COPY) == 0.5
+
+
+def test_result_from_dict_recomputes_derived_metrics():
+    rebuilt = result_from_dict(result_to_dict(rich_result()))
+    assert rebuilt.bottleneck_side == "receiver"
+    assert rebuilt.throughput_per_core_gbps == rich_result().throughput_per_core_gbps
+
+
+def test_result_from_json_inverts_result_to_json():
+    result = rich_result()
+    assert result_to_dict(result_from_json(result_to_json(result))) == \
+        result_to_dict(result)
 
 
 def make_table():

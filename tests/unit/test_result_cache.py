@@ -1,0 +1,121 @@
+"""Unit tests for content-addressed cache keying and the on-disk store."""
+
+import json
+
+from repro.config import (
+    ExperimentConfig,
+    HostConfig,
+    LinkConfig,
+    NicConfig,
+    NumaPolicy,
+    OptimizationConfig,
+    SteeringMode,
+    TcpConfig,
+    TrafficPattern,
+    WorkloadConfig,
+)
+from repro.core.cache import CACHE_SCHEMA_VERSION, ResultCache, config_cache_key
+
+from .test_results import make_result
+
+
+def key(config, schema_version=CACHE_SCHEMA_VERSION):
+    return config_cache_key(config, schema_version)
+
+
+def test_key_is_stable_and_shared_by_equal_configs():
+    assert key(ExperimentConfig()) == key(ExperimentConfig())
+    config = ExperimentConfig(seed=5)
+    assert key(config.replace()) == key(config)
+
+
+def test_every_top_level_field_change_changes_the_key():
+    base = ExperimentConfig()
+    variants = [
+        base.replace(pattern=TrafficPattern.INCAST),
+        base.replace(num_flows=2),
+        base.replace(duration_ns=base.duration_ns + 1),
+        base.replace(warmup_ns=base.warmup_ns + 1),
+        base.replace(seed=2),
+        base.replace(opts=OptimizationConfig.none()),
+        base.replace(nic=NicConfig(rx_descriptors=128)),
+        base.replace(host=HostConfig(dca_enabled=False)),
+        base.replace(tcp=TcpConfig(autotune_rx_buffer=False)),
+        base.replace(link=LinkConfig(loss_rate=0.001, has_switch=True)),
+        base.replace(workload=WorkloadConfig(rpc_size_bytes=1024)),
+        base.replace(numa_policy=NumaPolicy.NIC_REMOTE),
+        base.replace(worst_case_irq_mapping=False),
+        base.replace(steering=SteeringMode.RFS),
+        base.replace(cost_overrides={"syscall_cycles": 600.0}),
+    ]
+    keys = [key(base)] + [key(v) for v in variants]
+    assert len(set(keys)) == len(keys), "some field change did not change the key"
+
+
+def test_nested_field_change_changes_the_key():
+    base = ExperimentConfig()
+    jumbo_off = base.replace(
+        opts=OptimizationConfig(tso_gro=True, jumbo=False, arfs=True)
+    )
+    assert key(base) != key(jumbo_off)
+
+
+def test_cost_override_value_change_changes_the_key():
+    a = ExperimentConfig(cost_overrides={"syscall_cycles": 600.0})
+    b = ExperimentConfig(cost_overrides={"syscall_cycles": 601.0})
+    assert key(a) != key(b)
+
+
+def test_schema_version_bump_changes_the_key():
+    config = ExperimentConfig()
+    assert key(config, 1) != key(config, 2)
+
+
+def test_canonical_dict_is_json_stable():
+    canonical = ExperimentConfig().to_canonical_dict()
+    assert json.loads(json.dumps(canonical)) == canonical
+    assert canonical["opts"]["jumbo"] is True
+    assert canonical["pattern"] == "single"
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = ExperimentConfig()
+    result = make_result(total=12.5)
+    cache.put(config, result)
+    loaded = cache.get(config)
+    assert loaded is not None
+    assert loaded.total_throughput_gbps == 12.5
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_get_miss_on_unknown_config(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(ExperimentConfig()) is None
+    assert cache.misses == 1
+
+
+def test_schema_bump_invalidates_old_entries(tmp_path):
+    old = ResultCache(tmp_path, schema_version=1)
+    old.put(ExperimentConfig(), make_result())
+    new = ResultCache(tmp_path, schema_version=2)
+    assert new.get(ExperimentConfig()) is None
+    assert old.get(ExperimentConfig()) is not None  # old entries untouched
+
+
+def test_corrupt_entry_is_treated_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = ExperimentConfig()
+    path = cache.put(config, make_result())
+    path.write_text("{not json")
+    assert cache.get(config) is None
+
+
+def test_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(ExperimentConfig(), make_result())
+    cache.put(ExperimentConfig(seed=2), make_result())
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.get(ExperimentConfig()) is None
