@@ -8,6 +8,8 @@ Usage examples::
     python -m repro figure fig3e --jobs 8        # fan the sweep out across workers
     python -m repro figure fig8c --export /tmp/fig8c.csv
     python -m repro figure fig3a --no-cache      # force re-simulation
+    python -m repro figure fig3a --audit         # conservation-audit every run
+    python -m repro audit fig3a --jobs 4         # audit only, no table output
     python -m repro list
 
 Results are cached on disk keyed by a content hash of the full experiment
@@ -60,15 +62,22 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result cache location (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro-hostnet)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the conservation auditor on every experiment "
+                        "(byte/cycle/event accounting; implies --no-cache; "
+                        "exits non-zero on violations)")
 
 
 def _runner_settings(args: argparse.Namespace):
-    """Map parsed runner flags to ``(jobs, cache)`` for run_many."""
+    """Map parsed runner flags to ``(jobs, cache, audit)`` for run_many."""
     jobs = None if args.jobs == 0 else args.jobs
-    cache = None if args.no_cache else ResultCache(
+    audit = getattr(args, "audit", False)
+    # Audited runs never touch the cache: a cached entry carries the audit
+    # of the run that produced it, not of the current code.
+    cache = None if (args.no_cache or audit) else ResultCache(
         args.cache_dir if args.cache_dir else default_cache_dir()
     )
-    return jobs, cache
+    return jobs, cache, audit
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -111,6 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", help="e.g. fig3a, fig8c, table1")
     figure.add_argument("--export", help="write the table to a .csv/.json file")
     _add_runner_args(figure)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run one figure's experiments under the conservation auditor "
+        "and report every byte/cycle/event accounting violation",
+    )
+    audit.add_argument("name", help="e.g. fig3a, fig8c, table1")
+    audit.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU; default 1)")
 
     sub.add_parser("list", help="list available figure panels")
     return parser
@@ -164,15 +182,15 @@ def _panel_registry() -> dict:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    jobs, cache = _runner_settings(args)
+    jobs, cache, audit = _runner_settings(args)
     stats = RunnerStats()
     result = run_many([_config_from_args(args)], jobs=jobs, cache=cache,
-                      stats=stats)[0]
+                      stats=stats, audit=audit)[0]
     if stats.cache_hits:
         print("(served from result cache)", file=sys.stderr)
     if args.json:
         print(result_to_json(result))
-        return 0
+        return _audit_exit_code(result.audit_report)
     print(result.summary())
     print()
     print("receiver CPU breakdown:")
@@ -181,23 +199,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     print("sender CPU breakdown:")
     for label, fraction in result.sender_breakdown.as_rows():
         print(f"  {label:22s} {fraction:6.1%}")
-    return 0
+    if result.audit_report is not None:
+        print()
+        print(result.audit_report.render())
+    return _audit_exit_code(result.audit_report)
 
 
-def cmd_figure(args: argparse.Namespace) -> int:
-    panels = _panel_registry()
-    generator = panels.get(args.name)
-    if generator is None:
-        print(f"unknown panel {args.name!r}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
-    jobs, cache = _runner_settings(args)
-    figures_base.configure(jobs=jobs, cache=cache)
+def _audit_exit_code(report) -> int:
+    return 1 if report is not None and not report.ok else 0
+
+
+def _run_panel(name: str, jobs, cache, audit: bool):
+    """Run one figure panel under the given runner settings.
+
+    Returns ``(table, merged_audit_report)``; the report is ``None`` when
+    auditing is off. Raises ``KeyError`` for an unknown panel name.
+    """
+    from .core.audit import merge_reports
+
+    generator = _panel_registry()[name]
+    figures_base.configure(jobs=jobs, cache=cache, audit=audit)
     figures_base.STATS.reset()
     try:
         table = generator()
+        report = merge_reports(figures_base.AUDIT_REPORTS) if audit else None
     finally:
         figures_base.configure()  # restore the sequential, uncached default
+    return table, report
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    jobs, cache, audit = _runner_settings(args)
+    try:
+        table, report = _run_panel(args.name, jobs, cache, audit)
+    except KeyError:
+        print(f"unknown panel {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
     stats = figures_base.STATS
     if stats.experiments_run or stats.cache_hits:
         print(
@@ -206,10 +244,27 @@ def cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(table.render())
+    if report is not None:
+        print(report.render(), file=sys.stderr)
     if args.export:
         export_table(table, args.export)
         print(f"\nwritten to {args.export}")
-    return 0
+    return _audit_exit_code(report)
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    jobs = None if args.jobs == 0 else args.jobs
+    try:
+        _, report = _run_panel(args.name, jobs, None, True)
+    except KeyError:
+        print(f"unknown panel {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    stats = figures_base.STATS
+    print(f"{args.name}: {stats.experiments_run} experiments audited",
+          file=sys.stderr)
+    print(report.render())
+    return _audit_exit_code(report)
 
 
 def cmd_list(_: argparse.Namespace) -> int:
@@ -220,7 +275,12 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "figure": cmd_figure, "list": cmd_list}
+    handlers = {
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "audit": cmd_audit,
+        "list": cmd_list,
+    }
     return handlers[args.command](args)
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -27,7 +28,14 @@ from .results import ExperimentResult
 
 #: Bump whenever simulator behaviour or the result encoding changes in a way
 #: that makes previously cached results stale.
-CACHE_SCHEMA_VERSION = 1
+#: v2: per-tag throughput is single-sided (receiver host), latency payloads
+#: carry a ``dropped`` reservoir count, and results may embed audit reports.
+CACHE_SCHEMA_VERSION = 2
+
+#: Orphaned write-then-rename temp files older than this are swept. Long
+#: enough that no live writer (a single experiment runs in seconds) can be
+#: mid-rename; short enough that a crashed worker's litter goes quickly.
+STALE_TMP_SECONDS = 3600.0
 
 
 def config_cache_key(
@@ -94,6 +102,9 @@ class ResultCache:
         key = self.key(config)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Opportunistically reclaim temp files orphaned by writers that died
+        # between write_text and os.replace (cheap: one shard directory).
+        self._sweep_stale_tmp(path.parent)
         document = json.dumps(
             {
                 "key": key,
@@ -109,8 +120,30 @@ class ResultCache:
         os.replace(tmp, path)
         return path
 
+    def _sweep_stale_tmp(self, directory: Path, max_age_s: float = STALE_TMP_SECONDS) -> int:
+        """Delete orphaned ``*.tmp.<pid>`` files in ``directory``.
+
+        Only files older than ``max_age_s`` go, so a concurrent writer's
+        in-flight temp file is never yanked out from under its rename.
+        """
+        removed = 0
+        now = time.time()
+        try:
+            candidates = list(directory.glob("*.tmp.*"))
+        except OSError:
+            return 0
+        for tmp in candidates:
+            try:
+                if now - tmp.stat().st_mtime >= max_age_s:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # already gone, or contended: next sweep gets it
+        return removed
+
     def clear(self) -> int:
-        """Delete every entry of this cache's schema version; returns count."""
+        """Delete every entry of this cache's schema version (and any
+        orphaned temp files, whatever their age); returns the entry count."""
         removed = 0
         version_root = self.root / f"v{self.schema_version}"
         if not version_root.exists():
@@ -118,6 +151,8 @@ class ResultCache:
         for entry in sorted(version_root.rglob("*.json")):
             entry.unlink()
             removed += 1
+        for tmp in sorted(version_root.rglob("*.tmp.*")):
+            tmp.unlink()
         return removed
 
     def __len__(self) -> int:

@@ -33,11 +33,17 @@ THREAD_START_STAGGER_NS = 2_000
 
 
 class Experiment:
-    """One configured measurement run."""
+    """One configured measurement run.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    With ``audit=True`` a :class:`~repro.core.audit.ConservationAuditor` runs
+    at teardown and its report is attached to the result (see
+    ``ExperimentResult.audit_report``).
+    """
+
+    def __init__(self, config: ExperimentConfig, audit: bool = False) -> None:
         config.validate()
         self.config = config
+        self.audit_enabled = audit
         self.engine = Engine()
         self.rngs = RngStreams(config.seed)
         self.profiler = CpuProfiler()
@@ -162,14 +168,23 @@ class Experiment:
         """Warm up, measure, and assemble the result."""
         cfg = self.config
         self.engine.run(until=cfg.warmup_ns)
-        # Steady state reached: discard warmup measurements.
+        # Steady state reached: discard warmup measurements. Core busy-cycle
+        # counters reset in the same instant as the profiler so the two stay
+        # comparable (both record charges at job start).
         self.profiler.reset()
+        self.sender.reset_cycle_accounting()
+        self.receiver.reset_cycle_accounting()
         self.metrics.reset()
         snapshot = self._counter_snapshot()
 
         end_ns = cfg.warmup_ns + cfg.duration_ns
         self.engine.run(until=end_ns)
-        return self._collect(cfg.duration_ns, snapshot)
+        result = self._collect(cfg.duration_ns, snapshot)
+        if self.audit_enabled:
+            from .audit import audit_experiment
+
+            result.audit_report = audit_experiment(self)
+        return result
 
     def _counter_snapshot(self) -> Dict[str, int]:
         return {
@@ -201,9 +216,13 @@ class Experiment:
                         nbytes, duration_ns
                     )
 
+        # Per-tag throughput counts each flow's forward direction exactly once:
+        # the receiver host records stream payloads and RPC requests. Summing
+        # both hosts would double-count request/response workloads (the client
+        # side records the responses for the same flows).
         by_tag = {
             tag: nbytes * 8 / duration_s / 1e9
-            for tag, nbytes in self.metrics.delivered_by_tag().items()
+            for tag, nbytes in self.metrics.delivered_by_tag("receiver").items()
         }
 
         receiver_side = self.metrics.side("receiver")

@@ -11,6 +11,7 @@ import io
 import json
 from typing import Union
 
+from .audit import AuditReport
 from .metrics import LatencyStats
 from .report import Table
 from .results import BreakdownTable, ExperimentResult
@@ -18,8 +19,12 @@ from .taxonomy import Category
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
-    """Flatten an :class:`ExperimentResult` into JSON-serializable primitives."""
-    return {
+    """Flatten an :class:`ExperimentResult` into JSON-serializable primitives.
+
+    The ``audit`` key is present only when the run carried a conservation
+    audit, so unaudited payloads are unchanged by the auditor feature.
+    """
+    payload = {
         "config": result.config_summary,
         "duration_ns": result.duration_ns,
         "total_throughput_gbps": result.total_throughput_gbps,
@@ -43,6 +48,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
             "p99": result.copy_latency.p99_ns,
             "max": result.copy_latency.max_ns,
             "count": result.copy_latency.count,
+            "dropped": result.copy_latency.dropped_samples,
         },
         "rx_skb_sizes": {str(k): v for k, v in sorted(result.rx_skb_sizes.items())},
         "retransmits": result.retransmits,
@@ -53,6 +59,9 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "throughput_by_tag_gbps": dict(result.throughput_by_tag_gbps),
         "per_flow_gbps": {str(k): v for k, v in sorted(result.per_flow_gbps.items())},
     }
+    if result.audit_report is not None:
+        payload["audit"] = result.audit_report.to_dict()
+    return payload
 
 
 def result_from_dict(payload: dict) -> ExperimentResult:
@@ -81,6 +90,7 @@ def result_from_dict(payload: dict) -> ExperimentResult:
             p50_ns=latency["p50"],
             p99_ns=latency["p99"],
             max_ns=latency["max"],
+            dropped_samples=latency.get("dropped", 0),
         ),
         rx_skb_sizes={int(size): count
                       for size, count in payload["rx_skb_sizes"].items()},
@@ -92,6 +102,9 @@ def result_from_dict(payload: dict) -> ExperimentResult:
         throughput_by_tag_gbps=dict(payload["throughput_by_tag_gbps"]),
         per_flow_gbps={int(flow): gbps
                        for flow, gbps in payload["per_flow_gbps"].items()},
+        audit_report=(
+            AuditReport.from_dict(payload["audit"]) if "audit" in payload else None
+        ),
     )
 
 

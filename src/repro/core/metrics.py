@@ -8,28 +8,42 @@ reported (the paper's methodology, §2.2).
 from __future__ import annotations
 
 import math
+import random
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Cap on stored latency samples per host (runs are short; this is generous).
 MAX_LATENCY_SAMPLES = 500_000
 
+#: Fixed seed for the latency reservoir: sampling past the cap must be
+#: deterministic so repeated runs of the same config report identical stats.
+_RESERVOIR_SEED = 0x5EED
+
 
 @dataclass
 class LatencyStats:
-    """Summary of a latency sample set, in nanoseconds."""
+    """Summary of a latency sample set, in nanoseconds.
+
+    ``dropped_samples`` counts recordings beyond the storage cap. They are not
+    silently discarded: past the cap the hub switches to deterministic seeded
+    reservoir sampling, so the retained set stays a uniform sample of *all*
+    recordings and the percentiles remain unbiased.
+    """
 
     count: int
     avg_ns: float
     p50_ns: float
     p99_ns: float
     max_ns: float
+    dropped_samples: int = 0
 
     @classmethod
-    def from_samples(cls, samples: List[int]) -> "LatencyStats":
+    def from_samples(
+        cls, samples: List[int], dropped_samples: int = 0
+    ) -> "LatencyStats":
         if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, 0.0, 0.0, dropped_samples)
         ordered = sorted(samples)
         n = len(ordered)
 
@@ -43,6 +57,7 @@ class LatencyStats:
             p50_ns=pct(0.50),
             p99_ns=pct(0.99),
             max_ns=float(ordered[-1]),
+            dropped_samples=dropped_samples,
         )
 
 
@@ -56,6 +71,7 @@ class SideMetrics:
     sender_copy_hit_bytes: int = 0
     sender_copy_miss_bytes: int = 0
     latency_samples: List[int] = field(default_factory=list)
+    latency_dropped: int = 0
     rx_skb_sizes: Counter = field(default_factory=Counter)
 
     def cache_miss_rate(self) -> float:
@@ -74,11 +90,14 @@ class MetricsHub:
         self._sides: Dict[str, SideMetrics] = defaultdict(SideMetrics)
         self._per_flow_bytes: Dict[Tuple[str, int], int] = defaultdict(int)
         self._flow_tags: Dict[int, str] = {}
+        self._reservoir_rng = random.Random(_RESERVOIR_SEED)
 
     def reset(self) -> None:
         """Discard all measurements (end of warmup). Flow tags persist."""
         self._sides.clear()
         self._per_flow_bytes.clear()
+        # Reseed so post-warmup sampling is independent of warmup length.
+        self._reservoir_rng = random.Random(_RESERVOIR_SEED)
 
     # --- registration ------------------------------------------------------------
 
@@ -106,9 +125,23 @@ class MetricsHub:
         side.sender_copy_miss_bytes += miss
 
     def record_copy_latency(self, host: str, latency_ns: int) -> None:
-        samples = self._sides[host].latency_samples
+        """Record one stack-latency sample.
+
+        Below the cap, samples are stored verbatim. Past it, Vitter's
+        algorithm R keeps the stored set a uniform random sample of everything
+        seen (seeded, hence deterministic) instead of silently truncating —
+        which would bias p99/max toward early steady state.
+        """
+        side = self._sides[host]
+        samples = side.latency_samples
         if len(samples) < MAX_LATENCY_SAMPLES:
             samples.append(latency_ns)
+            return
+        side.latency_dropped += 1
+        seen = MAX_LATENCY_SAMPLES + side.latency_dropped
+        slot = self._reservoir_rng.randrange(seen)
+        if slot < MAX_LATENCY_SAMPLES:
+            samples[slot] = latency_ns
 
     def record_rx_skb(self, host: str, payload_bytes: int) -> None:
         self._sides[host].rx_skb_sizes[payload_bytes] += 1
@@ -118,15 +151,32 @@ class MetricsHub:
     def total_delivered_bytes(self) -> int:
         return sum(side.delivered_bytes for side in self._sides.values())
 
-    def delivered_by_tag(self) -> Dict[str, int]:
-        """Delivered bytes per flow tag, summed over both hosts."""
+    def delivered_by_tag(self, host: Optional[str] = None) -> Dict[str, int]:
+        """Delivered bytes per flow tag.
+
+        With ``host`` given, only that host's deliveries are counted. Summing
+        over both hosts (``host=None``) double-counts request/response
+        workloads where *each* side records deliveries for the same flow, so
+        per-tag throughput should always be taken from one side.
+        """
         out: Dict[str, int] = defaultdict(int)
-        for (_, flow_id), nbytes in self._per_flow_bytes.items():
+        for (side_host, flow_id), nbytes in self._per_flow_bytes.items():
+            if host is not None and side_host != host:
+                continue
             out[self._flow_tags.get(flow_id, "untagged")] += nbytes
         return dict(out)
+
+    def per_flow_delivered(self, host: str) -> Dict[int, int]:
+        """Delivered bytes per flow on ``host`` (auditor cross-check)."""
+        return {
+            flow_id: nbytes
+            for (side_host, flow_id), nbytes in self._per_flow_bytes.items()
+            if side_host == host
+        }
 
     def flow_bytes(self, host: str, flow_id: int) -> int:
         return self._per_flow_bytes.get((host, flow_id), 0)
 
     def latency_stats(self, host: str) -> LatencyStats:
-        return LatencyStats.from_samples(self._sides[host].latency_samples)
+        side = self._sides[host]
+        return LatencyStats.from_samples(side.latency_samples, side.latency_dropped)

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .audit import AuditReport
 from .metrics import LatencyStats
 from .taxonomy import Category
 
@@ -56,6 +57,10 @@ class ExperimentResult:
     acks_received_sender_side: int = 0
     throughput_by_tag_gbps: Dict[str, float] = field(default_factory=dict)
     per_flow_gbps: Dict[int, float] = field(default_factory=dict)
+
+    #: Conservation-audit outcome; only populated when the experiment ran
+    #: with auditing enabled (``Experiment(config, audit=True)`` / ``--audit``).
+    audit_report: Optional[AuditReport] = None
 
     # --- derived metrics (paper's headline quantities) ---------------------------
 

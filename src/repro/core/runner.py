@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, List, Optional
 
 from ..config import ExperimentConfig
@@ -39,13 +40,15 @@ class RunnerStats:
         self.cache_misses = 0
 
 
-def _execute(config: ExperimentConfig) -> dict:
+def _execute(config: ExperimentConfig, audit: bool = False) -> dict:
     """Worker entry point: simulate one config, return its flat payload.
 
     Module-level (hence picklable) and dict-valued so the pool never has to
-    pickle live simulator objects back to the parent.
+    pickle live simulator objects back to the parent. Audit reports travel
+    inside the payload (see ``result_to_dict``), so audited runs work across
+    the process boundary too.
     """
-    return result_to_dict(Experiment(config).run())
+    return result_to_dict(Experiment(config, audit=audit).run())
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -62,16 +65,24 @@ def run_many(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     stats: Optional[RunnerStats] = None,
+    audit: bool = False,
 ) -> List[ExperimentResult]:
     """Run every config, in input order, fanning cache misses out to workers.
 
     ``jobs=1`` runs in-process (no pool spawn cost); ``jobs=N`` uses up to N
     worker processes; ``jobs=None`` uses one per CPU. With a ``cache``, hits
     skip simulation entirely and fresh results are persisted for next time.
+
+    ``audit=True`` runs every experiment with the conservation auditor and
+    disables the cache for the batch — cached entries were produced by
+    *earlier* runs, so serving one would report stale (or absent) audits
+    instead of checking the current code.
     """
     configs = list(configs)
     jobs = resolve_jobs(jobs)
     stats = stats if stats is not None else RunnerStats()
+    if audit:
+        cache = None
 
     results: List[Optional[ExperimentResult]] = [None] * len(configs)
     miss_indices: List[int] = []
@@ -88,11 +99,12 @@ def run_many(
         miss_indices = list(range(len(configs)))
 
     miss_configs = [configs[index] for index in miss_indices]
+    execute = partial(_execute, audit=audit)
     if len(miss_configs) > 1 and jobs > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(miss_configs))) as pool:
-            payloads = list(pool.map(_execute, miss_configs))
+            payloads = list(pool.map(execute, miss_configs))
     else:
-        payloads = [_execute(config) for config in miss_configs]
+        payloads = [execute(config) for config in miss_configs]
     stats.experiments_run += len(miss_configs)
 
     for index, payload in zip(miss_indices, payloads):

@@ -41,20 +41,30 @@ WARMUP_NS = {
 _JOBS: Optional[int] = 1
 #: Shared result cache, or None to always simulate.
 _CACHE: Optional[ResultCache] = None
+#: Run every experiment with the conservation auditor (disables the cache).
+_AUDIT: bool = False
 #: Counters accumulated across every figure run since the last reset.
 STATS = RunnerStats()
+#: Audit reports collected from audited figure runs since the last configure.
+AUDIT_REPORTS: List = []
 
 
-def configure(jobs: Optional[int] = 1, cache: Optional[ResultCache] = None) -> None:
+def configure(
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    audit: bool = False,
+) -> None:
     """Set the runner used by every subsequent figure generation."""
-    global _JOBS, _CACHE
+    global _JOBS, _CACHE, _AUDIT
     _JOBS = jobs
     _CACHE = cache
+    _AUDIT = audit
+    AUDIT_REPORTS.clear()
 
 
 def runtime() -> tuple:
-    """The currently configured ``(jobs, cache)`` pair."""
-    return _JOBS, _CACHE
+    """The currently configured ``(jobs, cache, audit)`` triple."""
+    return _JOBS, _CACHE, _AUDIT
 
 
 def prepare(
@@ -75,7 +85,13 @@ def run_all(
     configured worker pool and are served from the result cache when warm.
     """
     prepared = [prepare(config, warmup_ns) for config in configs]
-    return run_many(prepared, jobs=_JOBS, cache=_CACHE, stats=STATS)
+    results = run_many(prepared, jobs=_JOBS, cache=_CACHE, stats=STATS, audit=_AUDIT)
+    if _AUDIT:
+        AUDIT_REPORTS.extend(
+            result.audit_report for result in results
+            if result.audit_report is not None
+        )
+    return results
 
 
 def run(config: ExperimentConfig, warmup_ns: Optional[int] = None) -> ExperimentResult:

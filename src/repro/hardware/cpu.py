@@ -78,6 +78,10 @@ class Core:
         self._last_context: Optional[Hashable] = None
         self._seq = 0
         self.context_switches = 0
+        #: Every cycle this core has accounted for (jobs, context switches,
+        #: inline charges). Mirrors the profiler's per-core total by
+        #: construction; the conservation auditor cross-checks the two.
+        self.busy_cycles = 0.0
 
     # --- submission ----------------------------------------------------------
 
@@ -121,6 +125,7 @@ class Core:
 
         for op, cyc in job.items:
             self.profiler.charge(self, op, cyc)
+        self.busy_cycles += cycles
 
         duration_ns = max(1, int(cycles / self.freq_hz * 1e9))
         self.engine.schedule(duration_ns, self._finish, job)
@@ -132,6 +137,22 @@ class Core:
             job.on_done()
         if self._running is None:
             self._start_next()
+
+    # --- direct charges ------------------------------------------------------------
+
+    def charge_inline(self, op: str, cycles: float) -> None:
+        """Charge ``cycles`` to ``op`` without occupying core time.
+
+        For instantaneous charges recorded outside a :class:`Job` (e.g. the
+        ``try_to_wake_up`` cost on a waking core). Keeps ``busy_cycles`` in
+        lock-step with the profiler so cycle conservation still balances.
+        """
+        self.profiler.charge(self, op, cycles)
+        self.busy_cycles += cycles
+
+    def reset_cycle_accounting(self) -> None:
+        """Discard accumulated busy cycles (paired with ``CpuProfiler.reset``)."""
+        self.busy_cycles = 0.0
 
     # --- queries -------------------------------------------------------------------
 

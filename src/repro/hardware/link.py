@@ -87,11 +87,18 @@ class Link:
         self.switch_delay_ns = switch_delay_ns
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._free_at = 0
-        # statistics
+        # statistics — together they satisfy the wire-conservation identity
+        # ``sent == dropped + in_flight + delivered`` (frames and bytes),
+        # checked by the conservation auditor.
         self.frames_sent = 0
         self.frames_dropped = 0
         self.frames_marked = 0
         self.bytes_sent = 0
+        self.bytes_dropped = 0
+        self.frames_in_flight = 0
+        self.bytes_in_flight = 0
+        self.frames_delivered = 0
+        self.bytes_delivered = 0
 
     def backlog_bytes(self) -> int:
         """Bytes queued for serialization right now (virtual-output queue)."""
@@ -120,6 +127,7 @@ class Link:
             self.bytes_sent += frame.wire_bytes
             if drop and self.rng.random() < self.loss_rate:
                 self.frames_dropped += 1
+                self.bytes_dropped += frame.wire_bytes
                 continue
             # queue this frame observed = everything serialized ahead of it
             queued_bytes = int((t - now) * self.bandwidth_bps / 8e9)
@@ -129,7 +137,27 @@ class Link:
             delivered.append(frame)
         self._free_at = t
         if delivered:
+            delivered_bytes = sum(frame.wire_bytes for frame in delivered)
+            self.frames_in_flight += len(delivered)
+            self.bytes_in_flight += delivered_bytes
             arrival = t + self.propagation_ns
             if self.has_switch:
                 arrival += self.switch_delay_ns
-            self.engine.schedule_at(arrival, deliver, delivered)
+            self.engine.schedule_at(
+                arrival, self._deliver_batch, deliver, delivered, delivered_bytes
+            )
+
+    def _deliver_batch(
+        self,
+        deliver: Callable[[List[Frame]], None],
+        frames: List[Frame],
+        batch_bytes: int,
+    ) -> None:
+        # Count before handing off: the receiving NIC may mutate frames (LRO
+        # grows wire_bytes of merged frames), so byte totals are only correct
+        # when taken at arrival time.
+        self.frames_in_flight -= len(frames)
+        self.bytes_in_flight -= batch_bytes
+        self.frames_delivered += len(frames)
+        self.bytes_delivered += batch_bytes
+        deliver(frames)

@@ -60,6 +60,7 @@ class RxQueue:
         self.pending: Deque[RxFrameRecord] = deque()
         self.napi = None  # wired by the host (kernel.napi.NapiContext)
         self.dropped_no_descriptor = 0
+        self.dropped_no_descriptor_bytes = 0
         self.active = False  # has this queue ever received traffic?
 
     def replenish(self, count: int) -> None:
@@ -218,6 +219,7 @@ class Nic:
                 self._update_dca_footprint()
             if queue.avail_descriptors <= 0:
                 queue.dropped_no_descriptor += 1
+                queue.dropped_no_descriptor_bytes += frame.wire_bytes
                 continue
             queue.avail_descriptors -= 1
             self.rx_frames += 1
@@ -275,3 +277,6 @@ class Nic:
 
     def total_rx_drops(self) -> int:
         return sum(q.dropped_no_descriptor for q in self.queues)
+
+    def total_rx_drop_bytes(self) -> int:
+        return sum(q.dropped_no_descriptor_bytes for q in self.queues)

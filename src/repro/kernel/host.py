@@ -172,6 +172,13 @@ class Host:
 
     # --- queries -----------------------------------------------------------------------------
 
+    def reset_cycle_accounting(self) -> None:
+        """Zero every core's busy-cycle counter (end of warmup, alongside
+        ``CpuProfiler.reset`` — both record charges at job start, so resetting
+        them at the same instant keeps cycle conservation exact)."""
+        for core in self.topology.cores:
+            core.reset_cycle_accounting()
+
     def utilization_cores(self, elapsed_ns: int) -> float:
         """Total CPU utilization in units of fully-busy cores."""
         if elapsed_ns <= 0:

@@ -84,6 +84,4 @@ def charge_wakeup(waker_core: "Core") -> None:
     it is recorded instantaneously rather than occupying core time, a <2%
     approximation documented in DESIGN.md.
     """
-    waker_core.profiler.charge(
-        waker_core, "try_to_wake_up", waker_core.costs.wakeup_cycles
-    )
+    waker_core.charge_inline("try_to_wake_up", waker_core.costs.wakeup_cycles)

@@ -113,6 +113,12 @@ class TcpEndpoint:
         self.snd_una = 0
         self.snd_nxt = 0
         self.unsent_bytes = 0
+        #: Total bytes the application has pushed into this socket. The
+        #: conservation auditor holds ``app_bytes_written == unsent_bytes +
+        #: snd_nxt`` at every instant.
+        self.app_bytes_written = 0
+        #: Payload bytes re-emitted by retransmissions (duplicate wire bytes).
+        self.retx_bytes = 0
         self.sndbuf_bytes = self.tcp_cfg.tx_buffer_bytes
         self.rwnd_bytes = 0  # set when the peer attaches
         self.segments: Deque[_Segment] = deque()
@@ -142,6 +148,11 @@ class TcpEndpoint:
         self._delack_event = None
         self.acks_sent = 0
         self.dup_acks_sent = 0
+        #: Total bytes the application has drained from the socket.
+        self.app_bytes_read = 0
+        #: Bytes committed to the receive stream (``rcv_nxt`` advanced) whose
+        #: socket enqueue is deferred until the softirq CPU job completes.
+        self.rx_limbo_bytes = 0
         self._delivered_since_autotune = 0
         if self.tcp_cfg.autotune_rx_buffer:
             # DRS starts from a small buffer and only grows it as the flow
@@ -222,6 +233,7 @@ class TcpEndpoint:
 
         state["remaining"] -= chunk
         self.unsent_bytes += chunk
+        self.app_bytes_written += chunk
 
         def done() -> None:
             self.try_push(self.app_core, thread, PRIORITY_APP)
@@ -510,6 +522,7 @@ class TcpEndpoint:
             if segment.end_seq <= self.snd_una:
                 continue  # acked in the meantime
             self.retransmits += 1
+            self.retx_bytes += segment.length
             seg_items, nframes = segmentation_charges(
                 segment.length, self.mss, self.opts.tso_gro, self.costs
             )
@@ -625,6 +638,7 @@ class TcpEndpoint:
             ready = [skb]
             ready.extend(self._pull_ooo(poll_core, items))
             for piece in ready:
+                self.rx_limbo_bytes += piece.payload_bytes
                 deferred.append(lambda s=piece: self._deliver_to_socket(s, poll_core))
             self._segs_since_ack += len(ready)
             self._bytes_since_ack += sum(piece.payload_bytes for piece in ready)
@@ -707,6 +721,7 @@ class TcpEndpoint:
 
     def _deliver_to_socket(self, skb: Skb, softirq_core: "Core") -> None:
         """Deferred: make payload visible to the application and wake it."""
+        self.rx_limbo_bytes -= skb.payload_bytes
         self.socket.enqueue(skb)
         waiter = self.socket.waiter
         if waiter is not None and self.socket.available() >= waiter.min_bytes:
@@ -797,6 +812,7 @@ class TcpEndpoint:
         if taken <= 0:
             on_complete(0)
             return
+        self.app_bytes_read += taken
         now = self.engine.now
         items: ChargeItems = [
             ("do_syscall_64", self.costs.syscall_cycles),

@@ -143,3 +143,18 @@ class Engine:
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events. O(1)."""
         return len(self._queue) - self._cancelled_in_queue
+
+    def audit_counts(self) -> dict:
+        """Exact queue-hygiene counters for the conservation auditor.
+
+        Recounts cancelled events with an O(n) sweep so the lazily-maintained
+        ``_cancelled_in_queue`` counter can be cross-checked against ground
+        truth (see :mod:`repro.core.audit`).
+        """
+        recount = sum(1 for event in self._queue if event.cancelled)
+        return {
+            "queued": len(self._queue),
+            "cancelled_tracked": self._cancelled_in_queue,
+            "cancelled_recount": recount,
+            "pending": self.pending_events(),
+        }

@@ -65,3 +65,72 @@ def test_run_json_output(capsys):
     assert code == 0
     document = json.loads(capsys.readouterr().out)
     assert document["total_throughput_gbps"] > 0
+
+
+def test_run_audit_flag_prints_clean_report(capsys):
+    code = main([
+        "run", "--duration-ms", "1", "--warmup-ms", "2", "--audit",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "conservation checks passed" in out
+
+
+def test_run_audit_json_embeds_report(capsys):
+    code = main([
+        "run", "--duration-ms", "1", "--warmup-ms", "2", "--audit", "--json",
+    ])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["audit"]["violations"] == []
+    assert document["audit"]["checks_run"] > 20
+
+
+def test_audit_flag_disables_cache():
+    from repro.cli import _runner_settings
+
+    args = parse(["run", "--audit"])
+    jobs, cache, audit = _runner_settings(args)
+    assert audit and cache is None
+
+    args = parse(["figure", "fig3a", "--audit"])
+    _, cache, audit = _runner_settings(args)
+    assert audit and cache is None
+
+
+def _shorten_figure_windows(monkeypatch):
+    from repro.figures import base as figures_base
+    from repro.units import msec
+
+    monkeypatch.setattr(figures_base, "DURATION_NS", msec(1))
+    monkeypatch.setattr(
+        figures_base, "WARMUP_NS",
+        {pattern: msec(2) for pattern in figures_base.WARMUP_NS},
+    )
+
+
+def test_audit_subcommand_reports_clean_panel(capsys, monkeypatch):
+    _shorten_figure_windows(monkeypatch)
+    assert main(["audit", "fig3a"]) == 0
+    captured = capsys.readouterr()
+    assert "conservation checks passed" in captured.out
+    assert "experiments audited" in captured.err
+
+
+def test_audit_subcommand_unknown_panel(capsys):
+    assert main(["audit", "nope"]) == 2
+
+
+def test_figure_audit_exits_nonzero_on_violation(capsys, monkeypatch):
+    """A violating report must turn into a non-zero exit for CI."""
+    from repro.cli import _audit_exit_code
+    from repro.core.audit import AuditReport, AuditViolation
+
+    clean = AuditReport(checks_run=5)
+    dirty = AuditReport(
+        checks_run=5,
+        violations=[AuditViolation("byte.tx_half", "flow 0", 1, 2)],
+    )
+    assert _audit_exit_code(None) == 0
+    assert _audit_exit_code(clean) == 0
+    assert _audit_exit_code(dirty) == 1

@@ -43,6 +43,31 @@ def test_delivered_by_tag():
     assert hub.delivered_by_tag() == {"long": 1000, "short": 200}
 
 
+def test_delivered_by_tag_per_host_does_not_double_count():
+    """Regression: RPC flows record deliveries on *both* hosts (requests on
+    the server, responses on the client). Per-tag throughput must come from
+    one side, or the tag total double-counts relative to per-host totals."""
+    hub = MetricsHub()
+    hub.register_flow(1, "short")
+    hub.record_delivered("receiver", 1, 4096)  # request, recorded by server
+    hub.record_delivered("sender", 1, 4096)    # response, recorded by client
+    assert hub.delivered_by_tag("receiver") == {"short": 4096}
+    assert hub.delivered_by_tag("sender") == {"short": 4096}
+    assert sum(hub.delivered_by_tag("receiver").values()) == (
+        hub.side("receiver").delivered_bytes
+    )
+
+
+def test_per_flow_delivered_matches_side_totals():
+    hub = MetricsHub()
+    hub.record_delivered("receiver", 1, 100)
+    hub.record_delivered("receiver", 2, 50)
+    hub.record_delivered("sender", 1, 7)
+    assert hub.per_flow_delivered("receiver") == {1: 100, 2: 50}
+    assert sum(hub.per_flow_delivered("receiver").values()) == 150
+    assert hub.per_flow_delivered("sender") == {1: 7}
+
+
 def test_cache_miss_rate():
     hub = MetricsHub()
     hub.record_receiver_copy("receiver", hit=300, miss=700)
@@ -69,3 +94,51 @@ def test_rx_skb_histogram():
     hub.record_rx_skb("receiver", 9000)
     hub.record_rx_skb("receiver", 64 * 1024)
     assert hub.side("receiver").rx_skb_sizes[9000] == 2
+
+
+def test_latency_under_cap_is_stored_verbatim():
+    hub = MetricsHub()
+    for value in (5, 3, 9):
+        hub.record_copy_latency("receiver", value)
+    stats = hub.latency_stats("receiver")
+    assert stats.count == 3
+    assert stats.dropped_samples == 0
+    assert stats.max_ns == 9
+
+
+def test_latency_past_cap_uses_reservoir_not_truncation(monkeypatch):
+    """Regression: samples past the cap used to be silently discarded,
+    pinning p99/max to early steady state. The reservoir keeps late samples
+    reachable and reports how many recordings exceeded the cap."""
+    import repro.core.metrics as metrics_mod
+
+    monkeypatch.setattr(metrics_mod, "MAX_LATENCY_SAMPLES", 10)
+    hub = MetricsHub()
+    for value in range(10):
+        hub.record_copy_latency("receiver", value)
+    # 90 late samples, all much larger than anything in the initial window.
+    for value in range(1000, 1090):
+        hub.record_copy_latency("receiver", value)
+    stats = hub.latency_stats("receiver")
+    assert stats.count == 10  # storage stays at the cap
+    assert stats.dropped_samples == 90
+    assert stats.max_ns >= 1000  # late samples displaced early ones
+
+
+def test_latency_reservoir_is_deterministic(monkeypatch):
+    import repro.core.metrics as metrics_mod
+
+    monkeypatch.setattr(metrics_mod, "MAX_LATENCY_SAMPLES", 8)
+
+    def fill(hub):
+        for value in range(200):
+            hub.record_copy_latency("receiver", value)
+        return hub.side("receiver").latency_samples
+
+    assert fill(MetricsHub()) == fill(MetricsHub())
+
+    # reset() reseeds, so post-warmup sampling repeats too
+    hub = MetricsHub()
+    first = list(fill(hub))
+    hub.reset()
+    assert fill(hub) == first

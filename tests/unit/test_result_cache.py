@@ -119,3 +119,47 @@ def test_clear_and_len(tmp_path):
     assert cache.clear() == 2
     assert len(cache) == 0
     assert cache.get(ExperimentConfig()) is None
+
+
+def _plant_tmp(cache, config, age_s=0.0):
+    """Create an orphaned write-then-rename temp file next to config's entry."""
+    import os
+    import time
+
+    path = cache.path_for(cache.key(config))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp.99999")
+    tmp.write_text("{half-written")
+    if age_s:
+        old = time.time() - age_s
+        os.utime(tmp, (old, old))
+    return tmp
+
+
+def test_put_sweeps_stale_tmp_files_but_spares_fresh_ones(tmp_path):
+    """Regression: temp files orphaned by a writer killed between write and
+    rename accumulated forever. put() now reclaims stale ones in the shard it
+    touches, without yanking a concurrent writer's fresh temp file."""
+    from repro.core.cache import STALE_TMP_SECONDS
+
+    cache = ResultCache(tmp_path)
+    config = ExperimentConfig()
+    stale = _plant_tmp(cache, config, age_s=STALE_TMP_SECONDS + 60)
+    fresh = _plant_tmp(cache, config.replace(seed=7))  # same shard iff same prefix
+    # Plant the fresh one in the same shard as `config` so one put() sees both.
+    fresh = fresh.rename(stale.parent / "concurrent.tmp.12345")
+
+    cache.put(config, make_result())
+    assert not stale.exists(), "stale orphan should be swept by put()"
+    assert fresh.exists(), "a fresh (possibly in-flight) temp must survive"
+    assert cache.get(config) is not None  # the entry itself is intact
+
+
+def test_clear_removes_tmp_files_of_any_age(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = ExperimentConfig()
+    cache.put(config, make_result())
+    fresh = _plant_tmp(cache, config.replace(seed=3))  # age 0: still removed
+    assert cache.clear() == 1
+    assert not fresh.exists()
+    assert len(cache) == 0
