@@ -130,6 +130,20 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                        help="worker processes (0 = one per CPU; default 1)")
 
+    bench = sub.add_parser(
+        "bench",
+        help="record a BENCH_<stamp>.json perf snapshot: engine "
+        "micro-benchmarks plus per-figure wall times",
+    )
+    bench.add_argument("--figures", default="fig3a", metavar="NAMES",
+                       help="comma-separated panel names to time "
+                       "(default fig3a; 'none' skips figure timing)")
+    bench.add_argument("--repeat", type=int, default=3, metavar="N",
+                       help="rounds per measurement; best-of-N is kept "
+                       "(default 3)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default BENCH_<stamp>.json in cwd)")
+
     sub.add_parser("list", help="list available figure panels")
     return parser
 
@@ -267,6 +281,58 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return _audit_exit_code(report)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from . import bench
+
+    names: List[str] = []
+    if args.figures and args.figures != "none":
+        registry = _panel_registry()
+        names = [name.strip() for name in args.figures.split(",") if name.strip()]
+        unknown = [name for name in names if name not in registry]
+        if unknown:
+            print(f"unknown panels {unknown}; try `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+
+    print("engine micro-benchmarks...", file=sys.stderr)
+    engine = bench.engine_metrics(repeat=args.repeat)
+
+    figures = {}
+    for name in names:
+        print(f"timing {name}...", file=sys.stderr)
+        best_wall = float("inf")
+        for _ in range(args.repeat):
+            figures_base.STATS.reset()
+            start = time.perf_counter()
+            _run_panel(name, jobs=1, cache=None, audit=False)
+            wall = time.perf_counter() - start
+            if wall < best_wall:
+                best_wall = wall
+        stats = figures_base.STATS
+        figures[name] = {
+            "wall_seconds": best_wall,
+            "experiments_run": stats.experiments_run,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        }
+
+    doc = bench.snapshot(figures, engine)
+    path = bench.write_snapshot(doc, args.out)
+    print(f"snapshot written to {path}")
+    print(
+        f"engine: schedule_run {engine['schedule_run_events_per_sec']:,.0f} ev/s, "
+        f"cancel_churn {engine['cancel_churn_events_per_sec']:,.0f} ev/s "
+        f"(normalized {engine['schedule_run_normalized']:.3f} / "
+        f"{engine['cancel_churn_normalized']:.3f})"
+    )
+    for name, row in figures.items():
+        print(f"{name}: {row['wall_seconds']:.3f}s wall, "
+              f"{row['experiments_run']} experiments")
+    return 0
+
+
 def cmd_list(_: argparse.Namespace) -> int:
     for name in sorted(_panel_registry()):
         print(name)
@@ -279,6 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "audit": cmd_audit,
+        "bench": cmd_bench,
         "list": cmd_list,
     }
     return handlers[args.command](args)

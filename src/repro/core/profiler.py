@@ -36,6 +36,26 @@ class CpuProfiler:
         if cycles:
             self._cycles[core.key][op] += cycles
 
+    def charge_items(self, core: "Core", items) -> float:
+        """Charge a batch of ``(op, cycles)`` items; return their plain sum.
+
+        Equivalent to calling :meth:`charge` per item (same order, same
+        accumulation), with the per-core dict lookup hoisted out of the loop.
+        The dict entry is created lazily so a batch of all-zero charges does
+        not mark the core busy (matching :meth:`charge`).
+        """
+        total = 0.0
+        ops = self._cycles.get(core.key)
+        for op, cycles in items:
+            if cycles:
+                if cycles < 0:
+                    raise ValueError(f"negative cycle charge: {cycles} for {op}")
+                if ops is None:
+                    ops = self._cycles[core.key]
+                ops[op] += cycles
+            total += cycles
+        return total
+
     def reset(self) -> None:
         """Discard all recorded cycles (used at the end of warmup)."""
         self._cycles.clear()

@@ -14,7 +14,6 @@ results are byte-identical by construction.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Iterable, List, Optional
@@ -101,6 +100,9 @@ def run_many(
     miss_configs = [configs[index] for index in miss_indices]
     execute = partial(_execute, audit=audit)
     if len(miss_configs) > 1 and jobs > 1:
+        # imported here so single-job runs skip the multiprocessing machinery
+        from concurrent.futures import ProcessPoolExecutor
+
         with ProcessPoolExecutor(max_workers=min(jobs, len(miss_configs))) as pool:
             payloads = list(pool.map(execute, miss_configs))
     else:

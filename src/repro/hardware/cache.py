@@ -66,6 +66,8 @@ class DcaRegion:
         self.enabled = enabled
         self.rng = rng if rng is not None else random.Random(0)
         self._descriptor_footprint = 0
+        self._effective_capacity = capacity_bytes
+        self._hazard_cap = capacity_bytes * self.HAZARD_SCALE
         self._resident: Dict[int, int] = {}
         self._keys: List[int] = []          # swap-remove list for O(1) random victim
         self._key_index: Dict[int, int] = {}
@@ -84,15 +86,23 @@ class DcaRegion:
         (imperfect replacement / complex cache addressing, §3.1).
         """
         self._descriptor_footprint = max(0, footprint_bytes)
-
-    @property
-    def effective_capacity(self) -> int:
-        """Usable bytes of the slice after descriptor-footprint dilution."""
         cap = self.capacity_bytes
         footprint = self._descriptor_footprint
         if footprint <= cap:
-            return cap
-        return max(1, int(cap * (cap / footprint) ** self.dilution_exponent))
+            eff = cap
+        else:
+            eff = max(1, int(cap * (cap / footprint) ** self.dilution_exponent))
+        self._effective_capacity = eff
+        self._hazard_cap = eff * self.HAZARD_SCALE
+
+    @property
+    def effective_capacity(self) -> int:
+        """Usable bytes of the slice after descriptor-footprint dilution.
+
+        Recomputed only when the descriptor footprint changes; ``dma_write``
+        reads the cached value on every DMA.
+        """
+        return self._effective_capacity
 
     @property
     def occupancy(self) -> int:
@@ -130,23 +140,30 @@ class DcaRegion:
         if not self.enabled or nbytes <= 0:
             return
         self.bytes_written += nbytes
-        hazard_cap = self.effective_capacity * self.HAZARD_SCALE
-        self._evict_debt += nbytes * (self._occupancy / hazard_cap)
+        self._evict_debt += nbytes * (self._occupancy / self._hazard_cap)
         # Accumulate when a region grows (LRO appends to an existing region).
-        self._resident[region_id] = self._resident.get(region_id, 0) + nbytes
-        self._track(region_id)
+        resident = self._resident
+        prev = resident.get(region_id)
+        if prev is None:
+            resident[region_id] = nbytes
+            self._key_index[region_id] = len(self._keys)
+            self._keys.append(region_id)
+        else:
+            resident[region_id] = prev + nbytes
         self._occupancy += nbytes
-        while self._evict_debt > 0 and len(self._keys) > 1:
-            victim = self._keys[self.rng.randrange(len(self._keys))]
+        keys = self._keys
+        randrange = self.rng.randrange
+        while self._evict_debt > 0 and len(keys) > 1:
+            victim = keys[randrange(len(keys))]
             if victim == region_id:
                 continue  # the incoming write itself stays resident
             evicted = self._remove(victim)
             self._evict_debt -= evicted
             self.bytes_evicted += evicted
         # Backstop: the slice can never physically hold more than capacity.
-        cap = self.effective_capacity
-        while self._occupancy > cap and len(self._keys) > 1:
-            victim = self._keys[self.rng.randrange(len(self._keys))]
+        cap = self._effective_capacity
+        while self._occupancy > cap and len(keys) > 1:
+            victim = keys[randrange(len(keys))]
             if victim == region_id:
                 continue
             evicted = self._remove(victim)
@@ -156,9 +173,19 @@ class DcaRegion:
         """The application copies ``region_id`` out of the cache.
 
         Returns ``(hit_bytes, miss_bytes)`` and removes the region.
+        (``_remove``/``_untrack`` inlined: this runs once per DMA region.)
         """
-        resident = self._remove(region_id)
-        hit = min(resident, nbytes)
+        resident = self._resident.pop(region_id, 0)
+        if resident:
+            self._occupancy -= resident
+        index = self._key_index.pop(region_id, None)
+        if index is not None:
+            keys = self._keys
+            last = keys.pop()
+            if last != region_id:
+                keys[index] = last
+                self._key_index[last] = index
+        hit = resident if resident < nbytes else nbytes
         return hit, nbytes - hit
 
     def discard(self, region_id: int) -> None:

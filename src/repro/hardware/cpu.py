@@ -38,7 +38,9 @@ class Job:
     ) -> None:
         self.context = context
         self.priority = priority
-        self.items = list(items)
+        # held by reference: callers hand over freshly-built batches and must
+        # not mutate them after submission
+        self.items = items
         self.on_done = on_done
         self.seq = 0  # assigned by the core for FIFO ordering
 
@@ -113,18 +115,16 @@ class Core:
         job = heapq.heappop(self._queue)
         self._running = job
 
-        cycles = job.total_cycles()
+        switch = 0.0
         if self._last_context is not None and job.context != self._last_context:
             # Switching between softirq and app contexts (or between threads)
             # costs scheduler work, charged to the SCHED category.
             switch = self.costs.context_switch_cycles
             self.profiler.charge(self, "__schedule", switch)
-            cycles += switch
             self.context_switches += 1
         self._last_context = job.context
 
-        for op, cyc in job.items:
-            self.profiler.charge(self, op, cyc)
+        cycles = self.profiler.charge_items(self, job.items) + switch
         self.busy_cycles += cycles
 
         duration_ns = max(1, int(cycles / self.freq_hz * 1e9))

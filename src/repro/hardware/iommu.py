@@ -9,30 +9,48 @@ memory alloc/dealloc grows to ~30% of receiver cycles).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..costs.model import CostModel
 
+_EMPTY: Tuple[Tuple[str, float], ...] = ()
+
 
 class IommuModel:
-    """Charges for IOMMU map/unmap operations; a no-op when disabled."""
+    """Charges for IOMMU map/unmap operations; a no-op when disabled.
+
+    Charge batches are memoized per page count and returned as shared
+    immutable tuples — callers fold them into job item lists, never mutate.
+    """
 
     def __init__(self, enabled: bool, costs: CostModel) -> None:
         self.enabled = enabled
         self.costs = costs
         self.pages_mapped = 0
         self.pages_unmapped = 0
+        self._map_items: Dict[int, Tuple[Tuple[str, float], ...]] = {}
+        self._unmap_items: Dict[int, Tuple[Tuple[str, float], ...]] = {}
 
-    def map_charges(self, npages: int) -> List[Tuple[str, float]]:
+    def map_charges(self, npages: int) -> Sequence[Tuple[str, float]]:
         """Charge items for mapping ``npages`` pages into the device domain."""
         if not self.enabled or npages <= 0:
-            return []
+            return _EMPTY
         self.pages_mapped += npages
-        return [("iommu_map_page", self.costs.iommu_map_per_page * npages)]
+        items = self._map_items.get(npages)
+        if items is None:
+            items = self._map_items[npages] = (
+                ("iommu_map_page", self.costs.iommu_map_per_page * npages),
+            )
+        return items
 
-    def unmap_charges(self, npages: int) -> List[Tuple[str, float]]:
+    def unmap_charges(self, npages: int) -> Sequence[Tuple[str, float]]:
         """Charge items for unmapping ``npages`` pages after DMA completion."""
         if not self.enabled or npages <= 0:
-            return []
+            return _EMPTY
         self.pages_unmapped += npages
-        return [("iommu_unmap_page", self.costs.iommu_unmap_per_page * npages)]
+        items = self._unmap_items.get(npages)
+        if items is None:
+            items = self._unmap_items[npages] = (
+                ("iommu_unmap_page", self.costs.iommu_unmap_per_page * npages),
+            )
+        return items

@@ -119,25 +119,34 @@ class Link:
         start = max(now, self._free_at)
         t = start
         delivered: List[Frame] = []
+        append = delivered.append
+        bandwidth = self.bandwidth_bps
         drop = self.has_switch and self.loss_rate > 0
         mark = self.has_switch and self.ecn_threshold_bytes > 0
+        nsent = 0
+        bytes_sent = 0
+        delivered_bytes = 0
         for frame in frames:
-            t += transmission_time_ns(frame.wire_bytes, self.bandwidth_bps)
-            self.frames_sent += 1
-            self.bytes_sent += frame.wire_bytes
+            wire_bytes = frame.wire_bytes
+            t += transmission_time_ns(wire_bytes, bandwidth)
+            nsent += 1
+            bytes_sent += wire_bytes
             if drop and self.rng.random() < self.loss_rate:
                 self.frames_dropped += 1
-                self.bytes_dropped += frame.wire_bytes
+                self.bytes_dropped += wire_bytes
                 continue
-            # queue this frame observed = everything serialized ahead of it
-            queued_bytes = int((t - now) * self.bandwidth_bps / 8e9)
-            if mark and queued_bytes > self.ecn_threshold_bytes:
-                frame.ecn_marked = True
-                self.frames_marked += 1
-            delivered.append(frame)
+            if mark:
+                # queue this frame observed = everything serialized ahead of it
+                queued_bytes = int((t - now) * bandwidth / 8e9)
+                if queued_bytes > self.ecn_threshold_bytes:
+                    frame.ecn_marked = True
+                    self.frames_marked += 1
+            append(frame)
+            delivered_bytes += wire_bytes
+        self.frames_sent += nsent
+        self.bytes_sent += bytes_sent
         self._free_at = t
         if delivered:
-            delivered_bytes = sum(frame.wire_bytes for frame in delivered)
             self.frames_in_flight += len(delivered)
             self.bytes_in_flight += delivered_bytes
             arrival = t + self.propagation_ns

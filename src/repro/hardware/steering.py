@@ -43,9 +43,12 @@ class SteeringEngine:
         self._pinned: Dict[int, "RxQueue"] = {}
         self._hash_salt = rng.getrandbits(32)
         self.arfs_install_failures = 0
+        # flow -> queue decisions, flushed whenever the inputs change
+        self._decisions: Dict[int, "RxQueue"] = {}
 
     def register_queue(self, queue: "RxQueue") -> None:
         self._queues.append(queue)
+        self._decisions.clear()
 
     # --- configuration ----------------------------------------------------------
 
@@ -53,29 +56,35 @@ class SteeringEngine:
         """Install an aRFS steering entry; fails when the NIC table is full."""
         if flow_id in self._arfs_table:
             self._arfs_table[flow_id] = queue
+            self._decisions.clear()
             return True
         if len(self._arfs_table) >= self.arfs_capacity:
             self.arfs_install_failures += 1
             return False
         self._arfs_table[flow_id] = queue
+        self._decisions.clear()
         return True
 
     def pin_flow(self, flow_id: int, queue: "RxQueue") -> None:
         """Explicitly pin a flow's IRQs to one queue (ethtool-style)."""
         self._pinned[flow_id] = queue
+        self._decisions.clear()
 
     # --- data path -----------------------------------------------------------------
 
     def queue_for(self, flow_id: int) -> "RxQueue":
         """Rx queue used for a frame of ``flow_id``."""
+        queue = self._decisions.get(flow_id)
+        if queue is not None:
+            return queue
         if not self._queues:
             raise RuntimeError("no Rx queues registered")
         queue = self._arfs_table.get(flow_id)
-        if queue is not None:
-            return queue
-        queue = self._pinned.get(flow_id)
-        if queue is not None:
-            return queue
-        # RSS/RPS fallback: stable 4-tuple hash.
-        index = hash((flow_id, self._hash_salt)) % len(self._queues)
-        return self._queues[index]
+        if queue is None:
+            queue = self._pinned.get(flow_id)
+        if queue is None:
+            # RSS/RPS fallback: stable 4-tuple hash.
+            index = hash((flow_id, self._hash_salt)) % len(self._queues)
+            queue = self._queues[index]
+        self._decisions[flow_id] = queue
+        return queue

@@ -42,10 +42,17 @@ class GroEngine:
         max_held_flows: int = GRO_MAX_HELD_FLOWS,
     ) -> None:
         self.costs = costs
+        self.tables = costs.tables()
         self.enabled = enabled
         self.max_merged_bytes = max_merged_bytes
         self.max_held_flows = max_held_flows
         self._held: "OrderedDict[int, Skb]" = OrderedDict()
+        # shared immutable charge batches for the two steady-state outcomes
+        # (merge succeeded / new flow held, nothing flushed) — identical
+        # content and order to the lists the general path builds
+        tables = self.tables
+        self._merge_items: Tuple = (tables.gro_receive_item,) + tables.gro_merge_pair
+        self._recv_only_items: Tuple = (tables.gro_receive_item,)
         # statistics
         self.frames_in = 0
         self.skbs_out = 0
@@ -60,56 +67,110 @@ class GroEngine:
         self.frames_in += 1
         if not self.enabled:
             self.skbs_out += 1
-            return [], [skb]
+            return (), [skb]
 
-        items: ChargeItems = [
-            ("dev_gro_receive", self.costs.gro_receive_per_frame)
-        ]
-        flushed: List[Skb] = []
-        held = self._held.get(skb.flow_id)
+        held_map = self._held
+        flow_id = skb.flow_id
+        held = held_map.get(flow_id)
         if held is not None:
-            fits = held.payload_bytes + skb.payload_bytes <= self.max_merged_bytes
-            in_seq = held.end_seq == skb.seq
-            same_node = held.page_node == skb.page_node
-            if fits and in_seq and same_node:
-                held.payload_bytes += skb.payload_bytes
+            payload = skb.payload_bytes
+            if (
+                held.payload_bytes + payload <= self.max_merged_bytes
+                and held.seq + held.payload_bytes == skb.seq
+                and held.page_node == skb.page_node
+            ):
+                held.payload_bytes += payload
                 held.nframes += skb.nframes
                 held.pages += skb.pages
                 held.regions.extend(skb.regions)
                 held.ecn = held.ecn or skb.ecn
-                self._held.move_to_end(skb.flow_id)
+                if len(held_map) > 1:  # moving the only entry is a no-op
+                    held_map.move_to_end(flow_id)
                 self.merges += 1
                 # the merged-in skb struct is released
-                items.append(("kmem_cache_free", self.costs.skb_free_cycles))
-                items.append(("skb_put", self.costs.skb_put_cycles))
-                return items, flushed
+                return self._merge_items, ()
             # cannot merge: flush what we held for this flow
-            del self._held[skb.flow_id]
-            flushed.append(held)
+            del held_map[flow_id]
+            flushed = [held]
+        else:
+            flushed = []
 
-        self._held[skb.flow_id] = skb
-        self._held.move_to_end(skb.flow_id)
-        if len(self._held) > self.max_held_flows:
-            _, evicted = self._held.popitem(last=False)
+        held_map[flow_id] = skb
+        held_map.move_to_end(flow_id)
+        if len(held_map) > self.max_held_flows:
+            _, evicted = held_map.popitem(last=False)
             flushed.append(evicted)
-        if flushed:
-            items.append(
-                ("napi_gro_flush", self.costs.gro_flush_per_skb * len(flushed))
-            )
-            self.skbs_out += len(flushed)
-        return items, flushed
+        if not flushed:
+            return self._recv_only_items, ()
+        self.skbs_out += len(flushed)
+        return (
+            (self.tables.gro_receive_item, self.tables.gro_flush(len(flushed))),
+            flushed,
+        )
+
+    def receive_record(self, record, frame_to_skb) -> Tuple[ChargeItems, List[Skb]]:
+        """Feed one Rx frame record, building an Skb only when one is kept.
+
+        Same state machine as :meth:`receive` (which remains the reference
+        implementation and must stay in lockstep), but the common merge
+        outcome folds the raw frame record straight into the held skb —
+        skipping the per-frame Skb allocation entirely. ``frame_to_skb``
+        converts the record when a new skb must actually be held or passed
+        through.
+        """
+        self.frames_in += 1
+        if not self.enabled:
+            self.skbs_out += 1
+            return (), [frame_to_skb(record)]
+
+        frame = record.frame
+        held_map = self._held
+        flow_id = frame.flow_id
+        held = held_map.get(flow_id)
+        if held is not None:
+            payload = frame.payload_bytes
+            if (
+                held.payload_bytes + payload <= self.max_merged_bytes
+                and held.seq + held.payload_bytes == frame.seq
+                and held.page_node == record.page_node
+            ):
+                held.payload_bytes += payload
+                held.nframes += record.nframes
+                held.pages += record.pages
+                held.regions.append((record.region_id, payload))
+                held.ecn = held.ecn or frame.ecn_marked
+                if len(held_map) > 1:  # moving the only entry is a no-op
+                    held_map.move_to_end(flow_id)
+                self.merges += 1
+                # the merged-in skb struct is released
+                return self._merge_items, ()
+            # cannot merge: flush what we held for this flow
+            del held_map[flow_id]
+            flushed = [held]
+        else:
+            flushed = []
+
+        held_map[flow_id] = frame_to_skb(record)
+        held_map.move_to_end(flow_id)
+        if len(held_map) > self.max_held_flows:
+            _, evicted = held_map.popitem(last=False)
+            flushed.append(evicted)
+        if not flushed:
+            return self._recv_only_items, ()
+        self.skbs_out += len(flushed)
+        return (
+            (self.tables.gro_receive_item, self.tables.gro_flush(len(flushed))),
+            flushed,
+        )
 
     def flush_all(self) -> Tuple[ChargeItems, List[Skb]]:
         """End of NAPI poll: push everything held up the stack."""
         if not self._held:
-            return [], []
+            return (), ()
         flushed = list(self._held.values())
         self._held.clear()
         self.skbs_out += len(flushed)
-        items: ChargeItems = [
-            ("napi_gro_flush", self.costs.gro_flush_per_skb * len(flushed))
-        ]
-        return items, flushed
+        return (self.tables.gro_flush(len(flushed)),), flushed
 
     def held_flows(self) -> int:
         return len(self._held)

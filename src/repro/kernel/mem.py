@@ -15,12 +15,12 @@ fold into its CPU job, so cycle attribution lands on the core doing the work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..constants import PAGESET_BATCH_PAGES, PAGESET_CAPACITY_PAGES
 from ..costs.model import CostModel
 
-ChargeItems = List[Tuple[str, float]]
+ChargeItems = Sequence[Tuple[str, float]]
 
 
 class PageAllocator:
@@ -38,6 +38,11 @@ class PageAllocator:
         self.capacity = capacity
         self.batch = batch
         self._pcp: Dict[Tuple[str, int], int] = {}
+        # Memoized single-item batches for the dominant fast paths (pure
+        # pageset alloc, non-overflowing free): shared tuples, callers extend.
+        self._pcp_alloc_items: Dict[int, ChargeItems] = {}
+        self._local_free_items: Dict[int, ChargeItems] = {}
+        self._remote_free_items: Dict[int, ChargeItems] = {}
         # statistics
         self.pcp_allocs = 0
         self.global_allocs = 0
@@ -61,7 +66,19 @@ class PageAllocator:
         from_pcp = min(level, npages)
         from_global = npages - from_pcp
         self._pcp[core_key] = level - from_pcp
-        items: ChargeItems = []
+        if not from_global:
+            # Fully served from the pageset (the steady-state path).
+            self.pcp_allocs += from_pcp
+            items = self._pcp_alloc_items.get(from_pcp)
+            if items is None:
+                items = self._pcp_alloc_items[from_pcp] = (
+                    (
+                        "page_pool_alloc_pages",
+                        self.costs.page_alloc_pcp_cycles * from_pcp,
+                    ),
+                )
+            return items
+        items = []
         if from_pcp:
             self.pcp_allocs += from_pcp
             items.append(
@@ -89,14 +106,38 @@ class PageAllocator:
         """Free ``npages`` living on NUMA node ``page_node`` from ``core_key``."""
         if npages <= 0:
             return []
-        items: ChargeItems = []
+        level = self._level(core_key) + npages
+        if level <= self.capacity:
+            # No pageset overflow (the steady-state path).
+            self._pcp[core_key] = level
+            if page_node == core_node:
+                self.local_frees += npages
+                items = self._local_free_items.get(npages)
+                if items is None:
+                    items = self._local_free_items[npages] = (
+                        (
+                            "page_frag_free",
+                            self.costs.page_free_local_cycles * npages,
+                        ),
+                    )
+            else:
+                self.remote_frees += npages
+                items = self._remote_free_items.get(npages)
+                if items is None:
+                    items = self._remote_free_items[npages] = (
+                        (
+                            "page_frag_free",
+                            self.costs.page_free_remote_cycles * npages,
+                        ),
+                    )
+            return items
+        items = []
         if page_node == core_node:
             self.local_frees += npages
             items.append(("page_frag_free", self.costs.page_free_local_cycles * npages))
         else:
             self.remote_frees += npages
             items.append(("page_frag_free", self.costs.page_free_remote_cycles * npages))
-        level = self._level(core_key) + npages
         if level > self.capacity:
             overflow = level - self.capacity
             level = self.capacity

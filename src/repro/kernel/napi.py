@@ -41,6 +41,7 @@ class NapiContext:
         self.host = host
         self.rxq = rxq
         self.costs = host.costs
+        self.tables = host.costs.tables()
         opts = host.config.opts
         # GRO runs in software unless LRO already merged in the NIC.
         self.gro = GroEngine(self.costs, enabled=opts.tso_gro and not opts.lro)
@@ -98,23 +99,20 @@ class NapiContext:
             return
         self.polls += 1
         core = self.core
-        now = self.host.engine.now
+        host = self.host
+        tables = self.tables
+        now = host.engine.now
         self._last_activity_ns = now
 
-        items: ChargeItems = [
-            ("napi_poll", self.costs.napi_poll_overhead),
-            ("mlx5e_poll_rx_cq", self.costs.driver_rx_per_frame * nframes),
-        ]
-        nrecords = len(batch)
-        items.append(("kmem_cache_alloc_node", self.costs.skb_alloc_cycles * nrecords))
-        items.append(("__build_skb", self.costs.skb_build_cycles * nrecords))
-
-        total_pages = sum(record.pages for record in batch)
-        items.extend(self.host.iommu.unmap_charges(total_pages))
+        total_pages = 0
+        for record in batch:
+            total_pages += record.pages
+        items: ChargeItems = list(tables.napi_head(nframes, len(batch)))
+        items.extend(host.iommu.unmap_charges(total_pages))
         # Replenish the ring: new pages + fresh IOMMU mappings for them.
         self.rxq.replenish(nframes)
-        items.extend(self.host.allocator.alloc(core.key, total_pages))
-        items.extend(self.host.iommu.map_charges(total_pages))
+        items.extend(host.allocator.alloc(core.key, total_pages))
+        items.extend(host.iommu.map_charges(total_pages))
 
         deferred: List[Callable[[], None]] = []
         ack_frames: List[Frame] = []
@@ -122,23 +120,30 @@ class NapiContext:
         # grouped per target core, forwarded as one IPI'd job at poll end.
         remote: dict = {}
 
+        endpoints = host.endpoints
+        gro_receive = self.gro.receive_record
+        skb_free_item = tables.skb_free_item
+        frame_to_skb = self._frame_to_skb
+        deliver_skb = self._deliver_skb
+        extend = items.extend
+        kind_data = Frame.KIND_DATA
+        kind_ack = Frame.KIND_ACK
         for record in batch:
             frame = record.frame
-            endpoint = self.host.endpoints.get(frame.flow_id)
+            endpoint = endpoints.get(frame.flow_id)
             if endpoint is None:
                 continue  # stray frame for a torn-down flow
-            if frame.kind == Frame.KIND_ACK:
-                items.append(("kmem_cache_free", self.costs.skb_free_cycles))
+            kind = frame.kind
+            if kind == kind_data:
+                gro_items, completed = gro_receive(record, frame_to_skb)
+                extend(gro_items)
+                for done_skb in completed:
+                    deliver_skb(done_skb, now, items, deferred, ack_frames, remote)
+            elif kind == kind_ack:
+                items.append(skb_free_item)
                 endpoint.on_ack_frame(frame.ack, core, items, deferred)
-                continue
-            if frame.kind == "probe":
+            elif kind == "probe":
                 endpoint.on_probe_frame(items, ack_frames)
-                continue
-            skb = self._frame_to_skb(record)
-            gro_items, completed = self.gro.receive(skb)
-            items.extend(gro_items)
-            for done_skb in completed:
-                self._deliver_skb(done_skb, now, items, deferred, ack_frames, remote)
 
         flush_items, flushed = self.gro.flush_all()
         items.extend(flush_items)
@@ -166,17 +171,20 @@ class NapiContext:
         core.submit_work(("softirq", core.core_id), items, done, PRIORITY_SOFTIRQ)
 
     def _frame_to_skb(self, record: "RxFrameRecord") -> Skb:
+        # Fields are assigned directly (bypassing Skb.__init__): this runs
+        # once per received wire frame and is the hottest allocation site.
         frame = record.frame
-        skb = Skb(
-            flow_id=frame.flow_id,
-            seq=frame.seq,
-            payload_bytes=frame.payload_bytes,
-            nframes=record.nframes,
-            pages=record.pages,
-            page_node=record.page_node,
-            regions=[(record.region_id, frame.payload_bytes)],
-            napi_ns=record.arrival_ns,
-        )
+        payload = frame.payload_bytes
+        skb = Skb.__new__(Skb)
+        skb.flow_id = frame.flow_id
+        skb.seq = frame.seq
+        skb.payload_bytes = payload
+        skb.nframes = record.nframes
+        skb.pages = record.pages
+        skb.page_node = record.page_node
+        skb.regions = [(record.region_id, payload)]
+        skb.napi_ns = record.arrival_ns
+        skb.is_retransmit = False
         skb.ecn = frame.ecn_marked
         return skb
 

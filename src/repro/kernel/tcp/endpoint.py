@@ -30,7 +30,6 @@ from ...constants import (
 )
 from ...hardware.cpu import PRIORITY_APP, PRIORITY_SOFTIRQ
 from ...units import msec
-from ..gso import segmentation_charges
 from ..sched import charge_wakeup
 from ..skb import Skb
 from ..socket import Socket
@@ -94,6 +93,7 @@ class TcpEndpoint:
         self.app_core = app_core
         self.flow_tag = flow_tag
         self.costs = host.costs
+        self.tables = host.costs.tables()
         self.engine = host.engine
         cfg = host.config
         self.opts = cfg.opts
@@ -208,17 +208,15 @@ class TcpEndpoint:
             thread.block()
             return
 
+        tables = self.tables
         items: ChargeItems = []
         if state["first"]:
-            items.append(("do_syscall_64", self.costs.syscall_cycles))
+            items.append(tables.syscall_item)
             state["first"] = False
         items.append(("lock_sock", self._lock_cost(self.app_core)))
 
         miss_rate = self.host.cache.sender_miss_rate(self.app_core.numa_node)
-        per_byte = (
-            self.costs.copy_per_byte_l3_hit * (1 - miss_rate)
-            + self.costs.copy_per_byte_l3_miss * miss_rate
-        )
+        per_byte = tables.copy_per_byte(miss_rate)
         items.append(("copy_from_user", self.costs.copy_per_call + per_byte * chunk))
         self.host.metrics.record_sender_copy(
             self.host.name, int(chunk * (1 - miss_rate)), int(chunk * miss_rate)
@@ -227,9 +225,7 @@ class TcpEndpoint:
         pages = (chunk + PAGE_BYTES - 1) // PAGE_BYTES
         items.extend(self.host.allocator.alloc(self.app_core.key, pages))
         nskbs = (chunk + self.gso_size - 1) // self.gso_size
-        items.append(("kmem_cache_alloc_node", self.costs.skb_alloc_cycles * nskbs))
-        items.append(("__build_skb", self.costs.skb_build_cycles * nskbs))
-        items.append(("tcp_sendmsg_locked", self.costs.tcp_sendmsg_per_skb * nskbs))
+        items.extend(tables.sendmsg_skbs(nskbs))
 
         state["remaining"] -= chunk
         self.unsent_bytes += chunk
@@ -264,6 +260,10 @@ class TcpEndpoint:
         self._emit_burst(burst, core, context, priority)
 
     def _emit_burst(self, burst: int, core: "Core", context, priority: int) -> None:
+        tables = self.tables
+        mss = self.mss
+        tso = self.opts.tso_gro
+        segments = self.segments
         items: ChargeItems = []
         frames: List[Frame] = []
         nskbs = 0
@@ -271,22 +271,16 @@ class TcpEndpoint:
         while emitted < burst:
             size = min(self.gso_size, burst - emitted)
             seq = self.snd_nxt
-            segment = _Segment(seq, size)
-            self.segments.append(segment)
+            segments.append(_Segment(seq, size))
             self.snd_nxt += size
             emitted += size
             nskbs += 1
-            seg_items, nframes = segmentation_charges(
-                size, self.mss, self.opts.tso_gro, self.costs
-            )
+            seg_items, nframes = tables.segmentation(size, mss, tso)
             items.extend(seg_items)
             frames.extend(self._build_data_frames(seq, size, nframes))
         self.unsent_bytes -= emitted
 
-        items.append(("tcp_write_xmit", self.costs.tcp_write_xmit_per_skb * nskbs))
-        items.append(("ip_queue_xmit", self.costs.ip_tx_per_skb * nskbs))
-        items.append(("__qdisc_run", self.costs.qdisc_per_skb * nskbs))
-        items.append(("mlx5e_xmit", self.costs.driver_tx_per_skb * nskbs))
+        items.extend(tables.tx_tail(nskbs))
         pages = (emitted + PAGE_BYTES - 1) // PAGE_BYTES
         items.extend(self.host.iommu.map_charges(pages))
         items.extend(self.host.iommu.unmap_charges(pages))
@@ -306,15 +300,20 @@ class TcpEndpoint:
 
     def _build_data_frames(self, seq: int, size: int, nframes: int) -> List[Frame]:
         frames: List[Frame] = []
+        append = frames.append
+        mss = self.mss
+        flow_id = self.flow_id
+        kind_data = Frame.KIND_DATA
         offset = 0
         for _ in range(nframes):
-            payload = min(self.mss, size - offset)
+            remaining = size - offset
+            payload = mss if mss < remaining else remaining
             if payload <= 0:
                 break
-            frames.append(
+            append(
                 Frame(
-                    self.flow_id,
-                    Frame.KIND_DATA,
+                    flow_id,
+                    kind_data,
                     seq + offset,
                     payload,
                     payload + FRAME_OVERHEAD_BYTES,
@@ -360,7 +359,7 @@ class TcpEndpoint:
         deferred: List[Callable[[], None]],
     ) -> None:
         """Process one incoming ACK. Appends CPU charges to the poll job."""
-        items.append(("tcp_ack", self.costs.tcp_ack_rx_cycles))
+        items.append(self.tables.ack_rx_item)
         now = self.engine.now
 
         if info.ack_seq > self.snd_una:
@@ -394,7 +393,7 @@ class TcpEndpoint:
             self._arm_rto()
             deferred.append(lambda: self._after_ack(poll_core))
         elif info.dup:
-            items.append(("tcp_ack", self.costs.tcp_dupack_rx_extra))
+            items.append(self.tables.dupack_extra_item)
             self._dupacks += 1
             self.cc.on_dup_ack(now)
             self.rwnd_bytes = max(self.rwnd_bytes, info.window_bytes)
@@ -432,11 +431,7 @@ class TcpEndpoint:
             head.pages -= partial_pages
             freed_pages += partial_pages
         if freed_skbs:
-            items.append(
-                ("tcp_clean_rtx_queue", self.costs.tcp_clean_rtx_per_skb * freed_skbs)
-            )
-            items.append(("skb_release_data", self.costs.skb_release_cycles * freed_skbs))
-            items.append(("kmem_cache_free", self.costs.skb_free_cycles * freed_skbs))
+            items.extend(self.tables.clean_rtx(freed_skbs))
         if freed_pages:
             # Sender payload pages are allocated on the app core's node.
             items.extend(
@@ -523,8 +518,8 @@ class TcpEndpoint:
                 continue  # acked in the meantime
             self.retransmits += 1
             self.retx_bytes += segment.length
-            seg_items, nframes = segmentation_charges(
-                segment.length, self.mss, self.opts.tso_gro, self.costs
+            seg_items, nframes = self.tables.segmentation(
+                segment.length, self.mss, self.opts.tso_gro
             )
             items.extend(seg_items)
             items.append(("__skb_clone", self.costs.skb_clone_cycles))
@@ -618,30 +613,34 @@ class TcpEndpoint:
         ack_frames: List[Frame],
     ) -> None:
         """Process one post-GRO data skb in softirq context."""
-        items.append(("ip_rcv", self.costs.ip_rx_per_skb))
-        items.append(("tcp_rcv_established", self.costs.tcp_rcv_per_skb))
+        items.extend(self.tables.rx_skb_prefix)
         items.append(("lock_sock", self._lock_cost(poll_core)))
         if skb.ecn:
             self._ecn_pending = True
 
-        if skb.end_seq <= self.rcv_nxt:
+        rcv_nxt = self.rcv_nxt
+        # invariant under front-trimming: seq += d, payload -= d
+        end_seq = skb.seq + skb.payload_bytes
+        if end_seq <= rcv_nxt:
             # Entirely duplicate (spurious retransmission): drop and re-ACK.
             self._discard_skb(skb, poll_core, items)
             self._emit_ack(items, ack_frames, dup=False)
             return
 
-        if skb.seq < self.rcv_nxt:
-            self._trim_skb_front(skb, self.rcv_nxt - skb.seq)
+        if skb.seq < rcv_nxt:
+            self._trim_skb_front(skb, rcv_nxt - skb.seq)
 
-        if skb.seq == self.rcv_nxt:
-            self.rcv_nxt = skb.end_seq
+        if skb.seq == rcv_nxt:
+            self.rcv_nxt = end_seq
             ready = [skb]
             ready.extend(self._pull_ooo(poll_core, items))
+            ready_bytes = 0
             for piece in ready:
+                ready_bytes += piece.payload_bytes
                 self.rx_limbo_bytes += piece.payload_bytes
                 deferred.append(lambda s=piece: self._deliver_to_socket(s, poll_core))
             self._segs_since_ack += len(ready)
-            self._bytes_since_ack += sum(piece.payload_bytes for piece in ready)
+            self._bytes_since_ack += ready_bytes
             # Linux ACKs at least every 2 MSS of new data (quickack rule);
             # post-GRO skbs carry many MSS, so in practice this is one ACK
             # per merged skb.
@@ -651,7 +650,7 @@ class TcpEndpoint:
                 self._ensure_delack_timer()
         else:
             # Out of order: queue and send an immediate duplicate ACK.
-            items.append(("tcp_data_queue_ofo", self.costs.tcp_ofo_queue_cycles))
+            items.append(self.tables.ofo_queue_item)
             self._insert_ooo(skb)
             self._emit_ack(items, ack_frames, dup=True)
 
@@ -676,8 +675,7 @@ class TcpEndpoint:
     def _discard_skb(self, skb: Skb, core: "Core", items: ChargeItems) -> None:
         for region_id, _ in skb.regions:
             self.host.dca_discard(region_id)
-        items.append(("skb_release_data", self.costs.skb_release_cycles))
-        items.append(("kmem_cache_free", self.costs.skb_free_cycles))
+        items.extend(self.tables.skb_free_pair)
         items.extend(
             self.host.allocator.free(core.key, core.numa_node, skb.pages, skb.page_node)
         )
@@ -732,8 +730,7 @@ class TcpEndpoint:
     # --- ACK generation -----------------------------------------------------------
 
     def _emit_ack(self, items: ChargeItems, ack_frames: List[Frame], dup: bool) -> None:
-        items.append(("tcp_send_ack", self.costs.tcp_ack_tx_cycles))
-        items.append(("dev_queue_xmit", self.costs.qdisc_per_skb * 0.3))
+        items.extend(self.tables.ack_tx_pair)
         ack_frames.append(self.build_ack_frame(dup))
         self._segs_since_ack = 0
         self._bytes_since_ack = 0
@@ -814,26 +811,27 @@ class TcpEndpoint:
             return
         self.app_bytes_read += taken
         now = self.engine.now
+        tables = self.tables
         items: ChargeItems = [
-            ("do_syscall_64", self.costs.syscall_cycles),
+            tables.syscall_item,
             ("lock_sock", self._lock_cost(self.app_core)),
         ]
         hit_bytes = 0
         miss_bytes = 0
         remote_bytes = 0  # payload living on a different NUMA node than the app
         freed_pages: dict = {}
+        app_node = self.app_core.numa_node
         for skb, chunk, fully in portions:
             h, m = self._consume_regions(skb, chunk)
             hit_bytes += h
             miss_bytes += m
-            if skb.page_node != self.app_core.numa_node:
+            if skb.page_node != app_node:
                 remote_bytes += chunk
             if skb.napi_ns is not None:
                 self.host.metrics.record_copy_latency(self.host.name, now - skb.napi_ns)
                 skb.napi_ns = None  # count each skb's latency once
             if fully:
-                items.append(("skb_release_data", self.costs.skb_release_cycles))
-                items.append(("kmem_cache_free", self.costs.skb_free_cycles))
+                items.extend(tables.skb_free_pair)
                 freed_pages[skb.page_node] = freed_pages.get(skb.page_node, 0) + skb.pages
 
         total = hit_bytes + miss_bytes
@@ -841,10 +839,7 @@ class TcpEndpoint:
             miss_fraction = 1.0
         else:
             miss_fraction = miss_bytes / total
-        per_byte = (
-            self.costs.copy_per_byte_l3_hit * (1 - miss_fraction)
-            + self.costs.copy_per_byte_l3_miss * miss_fraction
-        )
+        per_byte = tables.copy_per_byte(miss_fraction)
         copy_cycles = self.costs.copy_per_call + per_byte * taken
         # Cross-NUMA copies (frames DMA'd to a different node's memory, §3.1)
         # pay the interconnect on top of the L3 miss.
@@ -886,17 +881,23 @@ class TcpEndpoint:
         hit = 0
         miss = 0
         consumed = 0
-        local_cache = self.app_core.numa_node == self.host.nic.numa_node
-        while skb.regions and consumed < chunk:
-            region_id, nbytes = skb.regions.pop(0)
+        nic = self.host.nic
+        local_cache = self.app_core.numa_node == nic.numa_node
+        dca = nic.dca
+        regions = skb.regions
+        while regions and consumed < chunk:
+            region_id, nbytes = regions.pop(0)
             consumed += nbytes
-            resident, missed = self.host.dca_consume(region_id, nbytes)
+            if dca is None:
+                resident, missed = 0, nbytes
+            else:
+                resident, missed = dca.consume(region_id, nbytes)
             if local_cache:
                 hit += resident
                 miss += missed
             else:
                 miss += nbytes
-        if consumed < chunk and not skb.regions:
+        if consumed < chunk and not regions:
             # region bookkeeping exhausted (trim rounding): count as miss
             miss += chunk - consumed
         return hit, miss

@@ -79,15 +79,27 @@ def bytes_to_bits(nbytes: float) -> float:
     return nbytes * 8
 
 
+#: Memo for :func:`transmission_time_ns` — traffic uses a handful of frame
+#: sizes on one or two link rates, so the table stays tiny while the hot
+#: per-frame call collapses to a dict hit.
+_transmission_time_cache: dict = {}
+
+
 def transmission_time_ns(nbytes: int, rate_bps: float) -> int:
     """Serialization delay of ``nbytes`` on a link of ``rate_bps``.
 
     Always at least 1ns so that events retain a strict ordering even for
     tiny control segments.
     """
-    if rate_bps <= 0:
-        raise ValueError(f"rate must be positive, got {rate_bps}")
-    return max(1, int(round(nbytes * 8 * SEC / rate_bps)))
+    key = (nbytes, rate_bps)
+    ns = _transmission_time_cache.get(key)
+    if ns is None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        ns = _transmission_time_cache[key] = max(
+            1, int(round(nbytes * 8 * SEC / rate_bps))
+        )
+    return ns
 
 
 def throughput_gbps(nbytes: int, elapsed_ns: int) -> float:

@@ -25,7 +25,7 @@ def test_in_sequence_frames_merge():
     gro = make_gro()
     gro.receive(frame_skb(seq=0))
     _, flushed = gro.receive(frame_skb(seq=9000))
-    assert flushed == []
+    assert list(flushed) == []
     _, flushed = gro.flush_all()
     assert len(flushed) == 1
     assert flushed[0].payload_bytes == 18000
@@ -79,7 +79,7 @@ def test_default_held_limit_matches_kernel():
 def test_disabled_gro_passes_through():
     gro = make_gro(enabled=False)
     items, flushed = gro.receive(frame_skb(seq=0))
-    assert items == []
+    assert list(items) == []
     assert len(flushed) == 1 and flushed[0].nframes == 1
 
 

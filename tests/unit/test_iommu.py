@@ -6,8 +6,8 @@ from repro.hardware.iommu import IommuModel
 
 def test_disabled_iommu_charges_nothing():
     iommu = IommuModel(False, default_cost_model())
-    assert iommu.map_charges(10) == []
-    assert iommu.unmap_charges(10) == []
+    assert list(iommu.map_charges(10)) == []
+    assert list(iommu.unmap_charges(10)) == []
     assert iommu.pages_mapped == 0
 
 
@@ -30,5 +30,5 @@ def test_unmap_charges_and_counts():
 
 def test_zero_pages_is_noop():
     iommu = IommuModel(True, default_cost_model())
-    assert iommu.map_charges(0) == []
-    assert iommu.unmap_charges(0) == []
+    assert list(iommu.map_charges(0)) == []
+    assert list(iommu.unmap_charges(0)) == []

@@ -12,7 +12,7 @@ def make_experiment(**kwargs):
     frames are the only traffic and NAPI behaviour is observable in
     isolation."""
     experiment = Experiment(ExperimentConfig(duration_ns=msec(1), **kwargs))
-    for event in experiment.engine._queue:
+    for event in list(experiment.engine._iter_queued()):
         if getattr(event.fn, "__name__", "") == "start":
             event.cancel()
     return experiment

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI perf gate: engine micro-benchmarks vs the committed baseline.
+
+Runs the timer-wheel engine micro-benchmarks (same workloads as
+``benchmarks/test_bench_engine.py`` and ``repro bench``) and compares their
+*calibration-normalized* throughput against ``benchmarks/baseline_engine.json``.
+Normalizing by a fixed pure-Python spin makes the committed numbers portable
+across machines; the gate fails when either path drops more than the
+tolerance (default 25%) below baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_regression.py
+    PYTHONPATH=src python tools/check_bench_regression.py --update  # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import bench  # noqa: E402
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline_engine.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop below baseline (default 0.25)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="rounds per measurement, best-of-N (default 5)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this machine's numbers")
+    args = parser.parse_args()
+
+    current = bench.engine_metrics(repeat=args.repeat)
+    print(
+        f"schedule_run: {current['schedule_run_events_per_sec']:,.0f} ev/s "
+        f"(normalized {current['schedule_run_normalized']:.4f})"
+    )
+    print(
+        f"cancel_churn: {current['cancel_churn_events_per_sec']:,.0f} ev/s "
+        f"(normalized {current['cancel_churn_normalized']:.4f})"
+    )
+
+    if args.update:
+        doc = {
+            "comment": "calibration-normalized engine throughput floor for CI; "
+            "regenerate with tools/check_bench_regression.py --update",
+            "schedule_run_normalized": current["schedule_run_normalized"],
+            "cancel_churn_normalized": current["cancel_churn_normalized"],
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = bench.load_baseline(args.baseline)
+    failures = bench.compare_to_baseline(current, baseline, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
