@@ -179,3 +179,42 @@ def compare_to_baseline(
                 f"{base:.3f} (tolerance {tolerance:.0%})"
             )
     return failures
+
+
+def compare_figures_to_baseline(
+    figures: Dict[str, Dict[str, float]],
+    baseline_figures: Dict[str, Dict[str, float]],
+    tolerance: float,
+) -> List[str]:
+    """Return regression messages for the per-figure gate.
+
+    ``figures`` maps panel name to measured ``normalized_cost`` (wall time ×
+    calibration throughput — machine-independent work units) for the train
+    path, ``normalized_cost_no_train`` for the legacy path, and
+    ``events_reduction`` (fractional drop in engine events fired with trains
+    on). Cost ceilings get ``tolerance`` headroom; the event-count reduction
+    is a structural property of the simulation and is enforced exactly.
+    """
+    failures = []
+    for name, floor in baseline_figures.items():
+        row = figures.get(name)
+        if row is None:
+            failures.append(f"{name}: gated figure was not measured")
+            continue
+        min_reduction = floor.get("min_events_reduction")
+        if min_reduction is not None and row["events_reduction"] < min_reduction:
+            failures.append(
+                f"{name}: events_reduction {row['events_reduction']:.1%} is "
+                f"below the required {min_reduction:.0%}"
+            )
+        for key in ("normalized_cost", "normalized_cost_no_train"):
+            ceiling = floor.get(f"max_{key}")
+            if not ceiling:
+                continue
+            now = row[key]
+            if now > ceiling * (1.0 + tolerance):
+                failures.append(
+                    f"{name}: {key} {now:,.0f} is {now / ceiling - 1:.1%} above "
+                    f"baseline {ceiling:,.0f} (tolerance {tolerance:.0%})"
+                )
+    return failures

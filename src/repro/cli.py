@@ -66,6 +66,10 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="run the conservation auditor on every experiment "
                         "(byte/cycle/event accounting; implies --no-cache; "
                         "exits non-zero on violations)")
+    parser.add_argument("--no-train", action="store_true",
+                        help="disable the frame-train wire fast path and "
+                        "replay the wire with per-batch engine events "
+                        "(byte-identical results, more events)")
 
 
 def _runner_settings(args: argparse.Namespace):
@@ -129,15 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("name", help="e.g. fig3a, fig8c, table1")
     audit.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                        help="worker processes (0 = one per CPU; default 1)")
+    audit.add_argument("--no-train", action="store_true",
+                       help="audit the legacy per-event wire path instead of "
+                       "the frame-train fast path")
 
     bench = sub.add_parser(
         "bench",
         help="record a BENCH_<stamp>.json perf snapshot: engine "
-        "micro-benchmarks plus per-figure wall times",
+        "micro-benchmarks plus per-figure wall times and event counts "
+        "(each figure timed with and without the frame-train fast path)",
     )
-    bench.add_argument("--figures", default="fig3a", metavar="NAMES",
+    bench.add_argument("--figures", default="fig3a,fig9a", metavar="NAMES",
                        help="comma-separated panel names to time "
-                       "(default fig3a; 'none' skips figure timing)")
+                       "(default fig3a,fig9a; 'none' skips figure timing)")
     bench.add_argument("--repeat", type=int, default=3, metavar="N",
                        help="rounds per measurement; best-of-N is kept "
                        "(default 3)")
@@ -181,6 +189,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workload=WorkloadConfig(
             rpc_size_bytes=kb(args.rpc_kb), num_rpc_flows=args.rpc_flows
         ),
+        frame_trains=not args.no_train,
     )
 
 
@@ -223,7 +232,7 @@ def _audit_exit_code(report) -> int:
     return 1 if report is not None and not report.ok else 0
 
 
-def _run_panel(name: str, jobs, cache, audit: bool):
+def _run_panel(name: str, jobs, cache, audit: bool, frame_trains: bool = True):
     """Run one figure panel under the given runner settings.
 
     Returns ``(table, merged_audit_report)``; the report is ``None`` when
@@ -232,7 +241,9 @@ def _run_panel(name: str, jobs, cache, audit: bool):
     from .core.audit import merge_reports
 
     generator = _panel_registry()[name]
-    figures_base.configure(jobs=jobs, cache=cache, audit=audit)
+    figures_base.configure(
+        jobs=jobs, cache=cache, audit=audit, frame_trains=frame_trains
+    )
     figures_base.STATS.reset()
     try:
         table = generator()
@@ -245,7 +256,9 @@ def _run_panel(name: str, jobs, cache, audit: bool):
 def cmd_figure(args: argparse.Namespace) -> int:
     jobs, cache, audit = _runner_settings(args)
     try:
-        table, report = _run_panel(args.name, jobs, cache, audit)
+        table, report = _run_panel(
+            args.name, jobs, cache, audit, frame_trains=not args.no_train
+        )
     except KeyError:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
               file=sys.stderr)
@@ -269,7 +282,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_audit(args: argparse.Namespace) -> int:
     jobs = None if args.jobs == 0 else args.jobs
     try:
-        _, report = _run_panel(args.name, jobs, None, True)
+        _, report = _run_panel(
+            args.name, jobs, None, True, frame_trains=not args.no_train
+        )
     except KeyError:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
               file=sys.stderr)
@@ -299,24 +314,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print("engine micro-benchmarks...", file=sys.stderr)
     engine = bench.engine_metrics(repeat=args.repeat)
 
-    figures = {}
-    for name in names:
-        print(f"timing {name}...", file=sys.stderr)
+    def _time_panel(name: str, frame_trains: bool) -> dict:
+        """Best-of-N wall time plus engine event counts for one panel.
+
+        The workload is deterministic, so the event counters are identical
+        across repeats; the last repeat's counts serve for all.
+        """
         best_wall = float("inf")
         for _ in range(args.repeat):
             figures_base.STATS.reset()
             start = time.perf_counter()
-            _run_panel(name, jobs=1, cache=None, audit=False)
+            _run_panel(name, jobs=1, cache=None, audit=False,
+                       frame_trains=frame_trains)
             wall = time.perf_counter() - start
             if wall < best_wall:
                 best_wall = wall
         stats = figures_base.STATS
-        figures[name] = {
+        return {
             "wall_seconds": best_wall,
             "experiments_run": stats.experiments_run,
             "cache_hits": stats.cache_hits,
             "cache_misses": stats.cache_misses,
+            "events_fired": stats.events_fired,
+            "events_cancelled": stats.events_cancelled,
         }
+
+    figures = {}
+    for name in names:
+        print(f"timing {name}...", file=sys.stderr)
+        row = _time_panel(name, frame_trains=True)
+        print(f"timing {name} (--no-train)...", file=sys.stderr)
+        legacy = _time_panel(name, frame_trains=False)
+        row["no_train"] = {
+            "wall_seconds": legacy["wall_seconds"],
+            "events_fired": legacy["events_fired"],
+            "events_cancelled": legacy["events_cancelled"],
+        }
+        if legacy["events_fired"]:
+            row["events_reduction"] = (
+                1.0 - row["events_fired"] / legacy["events_fired"]
+            )
+        figures[name] = row
 
     doc = bench.snapshot(figures, engine)
     path = bench.write_snapshot(doc, args.out)
@@ -328,8 +366,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{engine['cancel_churn_normalized']:.3f})"
     )
     for name, row in figures.items():
-        print(f"{name}: {row['wall_seconds']:.3f}s wall, "
-              f"{row['experiments_run']} experiments")
+        line = (f"{name}: {row['wall_seconds']:.3f}s wall, "
+                f"{row['experiments_run']} experiments, "
+                f"{row['events_fired']:,} events")
+        if "events_reduction" in row:
+            line += (f" ({row['events_reduction']:.0%} fewer than --no-train's "
+                     f"{row['no_train']['events_fired']:,} in "
+                     f"{row['no_train']['wall_seconds']:.3f}s)")
+        print(line)
     return 0
 
 

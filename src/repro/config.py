@@ -187,6 +187,14 @@ class ExperimentConfig:
     steering: SteeringMode = SteeringMode.RSS  # used when aRFS is off
     cost_overrides: dict = field(default_factory=dict)
 
+    # Simulator-implementation switch, not an experiment parameter: carry
+    # wire batches as lazily-settled frame trains (fewer engine events) or
+    # as the legacy per-batch event pipeline. Results are identical by
+    # construction (enforced by the golden-digest gate and the train
+    # equivalence property tests), so the flag is excluded from the
+    # content-addressed cache key / canonical dict.
+    frame_trains: bool = field(default=True, metadata={"cache_key": False})
+
     def replace(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with top-level fields overridden."""
         return dataclasses.replace(self, **kwargs)
@@ -238,6 +246,7 @@ def _canonicalize(value: object) -> object:
         return {
             f.name: _canonicalize(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.metadata.get("cache_key", True)
         }
     if isinstance(value, enum.Enum):
         return value.value

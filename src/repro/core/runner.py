@@ -32,11 +32,23 @@ class RunnerStats:
     experiments_run: int = 0   # actual Experiment(...).run() invocations
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Engine events fired / cancelled, summed over every experiment actually
+    #: simulated (cache hits contribute nothing — no engine ran). The bench
+    #: harness reads these to track the frame-train event-count savings.
+    events_fired: int = 0
+    events_cancelled: int = 0
 
     def reset(self) -> None:
         self.experiments_run = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.events_fired = 0
+        self.events_cancelled = 0
+
+
+#: Payload side-channel key carrying per-run engine statistics from workers.
+#: Popped before the result round-trip, never persisted to the cache.
+_ENGINE_STATS_KEY = "_engine_stats"
 
 
 def _execute(config: ExperimentConfig, audit: bool = False) -> dict:
@@ -47,7 +59,13 @@ def _execute(config: ExperimentConfig, audit: bool = False) -> dict:
     inside the payload (see ``result_to_dict``), so audited runs work across
     the process boundary too.
     """
-    return result_to_dict(Experiment(config, audit=audit).run())
+    experiment = Experiment(config, audit=audit)
+    payload = result_to_dict(experiment.run())
+    payload[_ENGINE_STATS_KEY] = {
+        "events_fired": experiment.engine.events_fired,
+        "events_cancelled": experiment.engine.events_cancelled,
+    }
+    return payload
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -110,6 +128,10 @@ def run_many(
     stats.experiments_run += len(miss_configs)
 
     for index, payload in zip(miss_indices, payloads):
+        engine_stats = payload.pop(_ENGINE_STATS_KEY, None)
+        if engine_stats is not None:
+            stats.events_fired += engine_stats["events_fired"]
+            stats.events_cancelled += engine_stats["events_cancelled"]
         result = result_from_dict(payload)
         if cache is not None:
             cache.put(configs[index], result)

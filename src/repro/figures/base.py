@@ -43,6 +43,10 @@ _JOBS: Optional[int] = 1
 _CACHE: Optional[ResultCache] = None
 #: Run every experiment with the conservation auditor (disables the cache).
 _AUDIT: bool = False
+#: Wire simulation mode: frame-train fast path (default) or legacy per-event
+#: replay (``repro ... --no-train``). Results are byte-identical either way;
+#: the flag exists as an escape hatch and for the bench cross-check.
+_FRAME_TRAINS: bool = True
 #: Counters accumulated across every figure run since the last reset.
 STATS = RunnerStats()
 #: Audit reports collected from audited figure runs since the last configure.
@@ -53,12 +57,14 @@ def configure(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     audit: bool = False,
+    frame_trains: bool = True,
 ) -> None:
     """Set the runner used by every subsequent figure generation."""
-    global _JOBS, _CACHE, _AUDIT
+    global _JOBS, _CACHE, _AUDIT, _FRAME_TRAINS
     _JOBS = jobs
     _CACHE = cache
     _AUDIT = audit
+    _FRAME_TRAINS = frame_trains
     AUDIT_REPORTS.clear()
 
 
@@ -70,10 +76,13 @@ def runtime() -> tuple:
 def prepare(
     config: ExperimentConfig, warmup_ns: Optional[int] = None
 ) -> ExperimentConfig:
-    """Apply the figure-standard duration/warmup to ``config``."""
+    """Apply the figure-standard duration/warmup (and wire mode) to
+    ``config``."""
     if warmup_ns is None:
         warmup_ns = WARMUP_NS[config.pattern]
-    return config.replace(duration_ns=DURATION_NS, warmup_ns=warmup_ns)
+    return config.replace(
+        duration_ns=DURATION_NS, warmup_ns=warmup_ns, frame_trains=_FRAME_TRAINS
+    )
 
 
 def run_all(

@@ -100,24 +100,30 @@ class Link:
         self.frames_delivered = 0
         self.bytes_delivered = 0
 
-    def backlog_bytes(self) -> int:
-        """Bytes queued for serialization right now (virtual-output queue)."""
-        pending_ns = max(0, self._free_at - self.engine.now)
+    def backlog_bytes_at(self, vt: int) -> int:
+        """Bytes queued for serialization as seen at virtual time ``vt``."""
+        pending_ns = max(0, self._free_at - vt)
         return int(pending_ns * self.bandwidth_bps / 8e9)
 
-    def transmit(self, frames: Sequence[Frame], deliver: Callable[[List[Frame]], None]) -> None:
-        """Serialize ``frames`` and deliver survivors to the far end.
+    def backlog_bytes(self) -> int:
+        """Bytes queued for serialization right now (virtual-output queue)."""
+        return self.backlog_bytes_at(self.engine.now)
 
-        The whole burst is delivered in one event at the time the *last* frame
-        finishes serialization (plus propagation and switch forwarding); this
-        batches what would otherwise be one event per MTU frame without
-        changing steady-state rates.
+    def serialize_at(
+        self, frames: Sequence[Frame], vt: int
+    ) -> "tuple[List[Frame], int, int]":
+        """Serialize ``frames`` starting no earlier than virtual time ``vt``.
+
+        Returns ``(survivors, survivor_bytes, finish_t)`` where ``finish_t``
+        is when the last frame leaves the wire. Updates the sent / dropped /
+        marked counters and advances ``_free_at``, drawing switch loss and
+        ECN decisions in frame order — but does *not* touch the in-flight
+        counters or schedule delivery; the caller owns arrival. The legacy
+        :meth:`transmit` and the frame-train pipeline (which replays deferred
+        drains at their original virtual times) both funnel through here so
+        the two paths consume the loss RNG stream identically.
         """
-        if not frames:
-            return
-        now = self.engine.now
-        start = max(now, self._free_at)
-        t = start
+        t = max(vt, self._free_at)
         delivered: List[Frame] = []
         append = delivered.append
         bandwidth = self.bandwidth_bps
@@ -137,7 +143,7 @@ class Link:
                 continue
             if mark:
                 # queue this frame observed = everything serialized ahead of it
-                queued_bytes = int((t - now) * bandwidth / 8e9)
+                queued_bytes = int((t - vt) * bandwidth / 8e9)
                 if queued_bytes > self.ecn_threshold_bytes:
                     frame.ecn_marked = True
                     self.frames_marked += 1
@@ -146,14 +152,31 @@ class Link:
         self.frames_sent += nsent
         self.bytes_sent += bytes_sent
         self._free_at = t
+        return delivered, delivered_bytes, t
+
+    def arrival_time(self, finish_t: int) -> int:
+        """Arrival time at the far end for a burst finishing at ``finish_t``."""
+        arrival = finish_t + self.propagation_ns
+        if self.has_switch:
+            arrival += self.switch_delay_ns
+        return arrival
+
+    def transmit(self, frames: Sequence[Frame], deliver: Callable[[List[Frame]], None]) -> None:
+        """Serialize ``frames`` and deliver survivors to the far end.
+
+        The whole burst is delivered in one event at the time the *last* frame
+        finishes serialization (plus propagation and switch forwarding); this
+        batches what would otherwise be one event per MTU frame without
+        changing steady-state rates.
+        """
+        if not frames:
+            return
+        delivered, delivered_bytes, t = self.serialize_at(frames, self.engine.now)
         if delivered:
             self.frames_in_flight += len(delivered)
             self.bytes_in_flight += delivered_bytes
-            arrival = t + self.propagation_ns
-            if self.has_switch:
-                arrival += self.switch_delay_ns
             self.engine.schedule_at(
-                arrival, self._deliver_batch, deliver, delivered, delivered_bytes
+                self.arrival_time(t), self._deliver_batch, deliver, delivered, delivered_bytes
             )
 
     def _deliver_batch(

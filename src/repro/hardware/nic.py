@@ -103,6 +103,15 @@ class Nic:
         self._deliver: Optional[Callable[[List[Frame]], None]] = None
         self._tx_flows: Dict[int, Deque[Frame]] = {}
         self._tx_drain_pending = False
+        # Frame-train pipelines (hardware.train.TrainPipeline), wired by the
+        # experiment when config.frame_trains is on; None selects the legacy
+        # per-batch event path.
+        self.tx_pipeline = None  # drains this NIC's _tx_flows
+        self.rx_pipeline = None  # delivers into this NIC's Rx queues
+        #: NAPI contexts on this NIC's queues currently *not* scheduled
+        #: (maintained by NapiContext). The train wake policy's saturated-
+        #: path early-out: zero idle contexts means no wake can be needed.
+        self.idle_napis = 0
         self._region_counter = 0
         # statistics
         self.rx_frames = 0
@@ -159,6 +168,9 @@ class Nic:
         """
         if self.tx_link is None:
             raise RuntimeError("NIC has no Tx link attached")
+        if self.tx_pipeline is not None:
+            self.tx_pipeline.on_transmit(frames)
+            return
         for frame in frames:
             queue = self._tx_flows.get(frame.flow_id)
             if queue is None:
@@ -170,16 +182,8 @@ class Nic:
             # flows in the same instant join the round-robin interleave.
             self.engine.schedule(0, self._tx_drain)
 
-    def _tx_drain(self) -> None:
-        # Pace against the wire: keep at most ~2 batches serialized ahead so
-        # frames from flows that become active meanwhile join the round-robin
-        # interleave instead of queueing behind whole prior bursts.
-        max_ahead = 2 * self.TX_BATCH_FRAMES * self.mtu
-        backlog = self.tx_link.backlog_bytes()
-        if backlog > max_ahead:
-            delay = transmission_time_ns(backlog - max_ahead, self.tx_link.bandwidth_bps)
-            self.engine.schedule(delay, self._tx_drain)
-            return
+    def _compose_tx_batch(self) -> List[Frame]:
+        """Pop the next wire batch from the per-flow queues (round-robin)."""
         batch: List[Frame] = []
         if len(self._tx_flows) == 1:
             # Single active flow: round-robin degenerates to draining the one
@@ -201,6 +205,55 @@ class Nic:
                         break
                 if len(batch) >= self.TX_BATCH_FRAMES:
                     break
+        return batch
+
+    def _peek_tx_batch(self) -> List[Frame]:
+        """What :meth:`_compose_tx_batch` *would* pop, without mutating.
+
+        Used by the frame-train pipeline to plan the next train's arrival
+        time ahead of the drain actually settling; must mirror the compose
+        logic exactly (fast path, round snapshots, per-flow exhaustion).
+        """
+        flows = self._tx_flows
+        if not flows:
+            return []
+        batch: List[Frame] = []
+        snapshot = {flow_id: list(queue) for flow_id, queue in flows.items()}
+        taken = dict.fromkeys(snapshot, 0)
+        alive = list(snapshot)
+        limit = self.TX_BATCH_FRAMES
+        if len(alive) == 1:
+            flow_id = alive[0]
+            frames = snapshot[flow_id]
+            take = min(limit, len(frames))
+            batch.extend(frames[:take])
+            taken[flow_id] = take
+            if take == len(frames):
+                alive = []
+        while alive and len(batch) < limit:
+            for flow_id in list(alive):
+                frames = snapshot[flow_id]
+                for _ in range(self.TX_RR_QUANTUM_FRAMES):
+                    batch.append(frames[taken[flow_id]])
+                    taken[flow_id] += 1
+                    if taken[flow_id] == len(frames):
+                        alive.remove(flow_id)
+                        break
+                if len(batch) >= limit:
+                    break
+        return batch
+
+    def _tx_drain(self) -> None:
+        # Pace against the wire: keep at most ~2 batches serialized ahead so
+        # frames from flows that become active meanwhile join the round-robin
+        # interleave instead of queueing behind whole prior bursts.
+        max_ahead = 2 * self.TX_BATCH_FRAMES * self.mtu
+        backlog = self.tx_link.backlog_bytes()
+        if backlog > max_ahead:
+            delay = transmission_time_ns(backlog - max_ahead, self.tx_link.bandwidth_bps)
+            self.engine.schedule(delay, self._tx_drain)
+            return
+        batch = self._compose_tx_batch()
         if not batch:
             self._tx_drain_pending = False
             return
@@ -220,11 +273,20 @@ class Nic:
 
     def handle_rx(self, frames: List[Frame]) -> None:
         """Frames arriving from the wire: steer, DMA, and raise IRQs."""
+        touched = self._rx_ingest(frames, self.engine.now)
+        for queue in touched.values():
+            if queue.napi is not None:
+                queue.napi.notify()
+
+    def _rx_ingest(self, frames: List[Frame], now: int) -> Dict[int, RxQueue]:
+        """Steer and DMA ``frames`` that arrived at ``now``; return the
+        touched queues (IRQ notification is the caller's job — the legacy
+        path notifies at the arrival event, the frame-train pipeline when the
+        train settles, stamping the original arrival time either way)."""
         touched: Dict[int, RxQueue] = {}
         queue_for = self.steering.queue_for
         lro = self.lro
         dca = self.dca
-        now = self.engine.now
         region_counter = self._region_counter
         rx_frames = 0
         rx_bytes = 0
@@ -272,10 +334,7 @@ class Nic:
         self._region_counter = region_counter
         self.rx_frames += rx_frames
         self.rx_bytes += rx_bytes
-
-        for queue in touched.values():
-            if queue.napi is not None:
-                queue.napi.notify()
+        return touched
 
     def _try_lro_merge(self, queue: RxQueue, frame: Frame) -> bool:
         """NIC-side receive merge (LRO): extend the newest pending record when

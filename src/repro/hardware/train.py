@@ -1,0 +1,561 @@
+"""Frame-train fast path: lazily-settled wire batches (DESIGN.md §11).
+
+The legacy wire pipeline fires two engine events per Tx batch — the NIC's
+``_tx_drain`` and the link's ``_deliver_batch`` — even though, in steady
+state, nothing between those events can observe the wire. This module
+replaces both with a *virtual* timeline per link direction: a pending drain
+time and a FIFO of in-flight :class:`FrameTrain` objects, replayed
+("settled") up to the current instant at exactly the points where per-frame
+behaviour becomes observable:
+
+* ``Nic.transmit`` (batch composition: new frames join the round-robin);
+* the top of ``NapiContext._poll`` and the tail of its ``done()`` closure
+  (descriptor consumption, pending-queue length, GRO interleave);
+* DCA ``consume``/``discard`` (eviction hazard ordering vs DMA writes);
+* run boundaries (warmup counter snapshot, final collection, the auditor).
+
+Settlement replays the legacy code *at the original virtual times*: pacing
+deferrals, batch composition, per-frame serialization with switch loss and
+ECN draws (through :meth:`Link.serialize_at`, shared with the legacy path so
+the RNG streams are consumed identically), descriptor consume and DMA on
+ingest. Results are byte-identical by construction — enforced by the golden
+figure digests and ``tests/property/test_train_equivalence.py``.
+
+Timing correctness relies on one invariant: a train may settle *after* its
+arrival time only when every NAPI context it would notify was busy
+(``scheduled``) at arrival — then ``notify()`` is a no-op and the late
+replay is indistinguishable from the punctual one. Whenever any target is
+idle, the pipeline arms a single *wake* event at the exact arrival time of
+the next train (a pure plan-ahead simulation of the next drain: deferral
+chain, round-robin batch peek, per-frame serialization sum — drops never
+change timing, so the plan is exact). Queues going idle re-arm the wake; in
+saturated runs no wake is ever armed and the wire costs zero events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Sequence, Tuple
+
+from ..constants import IRQ_COALESCE_FRAMES, IRQ_COALESCE_NS, IRQ_IDLE_RESET_NS
+from ..units import transmission_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+    from .link import Frame, Link
+    from .nic import Nic
+
+
+class FrameTrain:
+    """Survivors of one serialized Tx batch, in flight towards the peer NIC."""
+
+    __slots__ = ("frames", "wire_bytes", "arrival_ns", "drain_vt", "_flow_frames")
+
+    def __init__(
+        self, frames: List["Frame"], wire_bytes: int, arrival_ns: int, drain_vt: int
+    ) -> None:
+        self.frames = frames
+        self.wire_bytes = wire_bytes
+        self.arrival_ns = arrival_ns
+        #: Virtual time of the drain that serialized this batch — the instant
+        #: at which the legacy path would have *scheduled* the delivery
+        #: event. Within an instant the engine fires events in scheduling
+        #: order, so this timestamp decides whether the arrival precedes or
+        #: follows another event at the same ``arrival_ns``.
+        self.drain_vt = drain_vt
+        self._flow_frames: Optional[dict] = None
+
+    @property
+    def flow_frames(self) -> dict:
+        """Frames per flow, computed on first use (the wake policy regroups
+        these per Rx queue on every re-plan; saturated runs never ask)."""
+        counts = self._flow_frames
+        if counts is None:
+            counts = {}
+            for frame in self.frames:
+                fid = frame.flow_id
+                counts[fid] = counts.get(fid, 0) + 1
+            self._flow_frames = counts
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FrameTrain n={len(self.frames)} bytes={self.wire_bytes} "
+            f"arrival={self.arrival_ns}>"
+        )
+
+
+class TrainPipeline:
+    """One link direction's virtual wire timeline (tx NIC → link → rx NIC)."""
+
+    def __init__(self, engine: "Engine", tx_nic: "Nic", link: "Link", rx_nic: "Nic") -> None:
+        self.engine = engine
+        self.tx_nic = tx_nic
+        self.link = link
+        self.rx_nic = rx_nic
+        #: Virtual time of the next pending Tx drain (legacy ``_tx_drain``
+        #: event time), or ``None`` when no drain is armed.
+        self.drain_due: Optional[int] = None
+        #: Serialized-but-not-yet-ingested trains, FIFO by arrival time
+        #: (arrivals are monotonic: serialization finish times never regress).
+        self.inflight: Deque[FrameTrain] = deque()
+        self._wake = None
+        self._wake_time = -1
+        self._settling = False
+        #: Core whose idle state the current wake plan depends on (the wake
+        #: stands in for the IRQ job's finish event); any submission to it
+        #: re-plans. None when the plan has no such dependency.
+        self.plan_core = None
+        #: Virtually-started jobs whose finish is due at the current instant,
+        #: as ``(finish_vt, core, job)``. The settle loop runs them in time
+        #: order interleaved with deliveries (the wake stands in for the
+        #: finish event the legacy path would have fired).
+        self._pending_finishes: List[tuple] = []
+        #: Lazy flow id → (RxQueue, NapiContext) cache. Steering decisions
+        #: are static once a flow is registered (aRFS/pins happen at setup),
+        #: so the wake policy's per-replan lookups reduce to one dict hit.
+        self._flow_target: dict = {}
+        #: Tx-side state version: bumped whenever the inputs of the next-
+        #: arrival plan change (new frames queued, a drain consumed a batch).
+        #: Memoizes ``_plan_first_arrival`` across the rearms in between.
+        self._tx_version = 0
+        self._plan_cache: Tuple[int, Optional[int], Optional[int], Optional[dict]] = (
+            -1, None, None, None
+        )
+        #: The opposite-direction pipeline of the same experiment (set by the
+        #: wiring code). Its wake commutes with ours — the two deliver onto
+        #: different hosts — so a deferring wake ignores it when asking the
+        #: engine whether the current instant still has events to run.
+        self.peer: Optional["TrainPipeline"] = None
+        tx_nic.tx_pipeline = self
+        rx_nic.rx_pipeline = self
+
+    # --- producer side --------------------------------------------------------
+
+    def on_transmit(self, frames: Sequence["Frame"]) -> None:
+        """``Nic.transmit`` entry for the train path.
+
+        Settles strictly below the current instant *before* enqueueing, so a
+        drain that was due earlier can never swallow frames it would not have
+        seen; then the new frames join the per-flow queues and an immediate
+        drain is armed (the legacy ``schedule(0, _tx_drain)`` end-of-instant
+        deferral: due now, run after every transmit of this instant).
+        """
+        now = self.engine.now
+        self.settle(now, cur_ins=self.engine.current_inserted_at)
+        flows = self.tx_nic._tx_flows
+        batch_frames = self.tx_nic.TX_BATCH_FRAMES
+        bump = False
+        for frame in frames:
+            queue = flows.get(frame.flow_id)
+            if queue is None:
+                queue = flows[frame.flow_id] = deque()
+            if len(queue) < batch_frames:
+                # Appends beyond one full batch extend queue tails only: the
+                # round-robin composition of the *next* batch — and with it
+                # the arrival plan — cannot change.
+                bump = True
+            queue.append(frame)
+        if bump:
+            self._tx_version += 1
+        if self.drain_due is None:
+            self.drain_due = now
+        if self.rx_nic.idle_napis or self._wake is not None:
+            self.rearm()
+
+    # --- settlement -----------------------------------------------------------
+
+    def settle(
+        self,
+        bound: int,
+        include_eq_arrivals: bool = False,
+        include_eq_drains: bool = False,
+        cur_ins: Optional[int] = None,
+    ) -> None:
+        """Replay drains and deliveries up to ``bound``.
+
+        Arrivals strictly before ``bound`` always land. For an arrival
+        exactly *at* the bound the legacy order within the instant decides:
+        its delivery event was inserted at the drain time (``drain_vt``),
+        same-timestamp events fire in insertion order, so with ``cur_ins``
+        (the insertion time of the event currently executing) the arrival is
+        replayed here iff the legacy event order ran it before the current
+        event — ``drain_vt <= cur_ins`` (ties lean arrival-first: the drain
+        typically ran inline before the observer was scheduled). The wake's
+        end-of-instant pass and run boundaries set ``include_eq_arrivals``
+        to sweep whatever remains. Ties between an arrival and a drain at
+        the same instant deliver first — the legacy delivery event was
+        scheduled before the drain that would fire alongside it.
+        """
+        if self._settling:
+            return
+        inflight = self.inflight
+        if not self._pending_finishes:
+            # Fast path: nothing can be strictly due, and the equal-bound
+            # rules below only ever *add* work at exactly the bound.
+            due = self.drain_due
+            if (not inflight or bound < inflight[0].arrival_ns) and (
+                due is None or bound < due
+            ):
+                return
+        self._settling = True
+        delivered = False
+        try:
+            pending = self._pending_finishes
+            while True:
+                if pending:
+                    # A virtually-started job's finish is due: it precedes any
+                    # delivery at or after its instant (the legacy finish event
+                    # was inserted when the job started, before those
+                    # arrivals were scheduled).
+                    best = min(range(len(pending)), key=lambda i: pending[i][0])
+                    finish_vt, core, job = pending[best]
+                    head = inflight[0] if inflight else None
+                    if head is None or finish_vt <= head.arrival_ns:
+                        del pending[best]
+                        core._finish(job)
+                        continue
+                head = inflight[0] if inflight else None
+                due = self.drain_due
+                a_ok = head is not None and (
+                    head.arrival_ns < bound
+                    or (
+                        head.arrival_ns == bound
+                        and (
+                            include_eq_arrivals
+                            or (cur_ins is not None and head.drain_vt <= cur_ins)
+                        )
+                    )
+                )
+                d_ok = due is not None and (
+                    due < bound or (include_eq_drains and due == bound)
+                )
+                if a_ok and (not d_ok or head.arrival_ns <= due):
+                    self._deliver(inflight.popleft())
+                    delivered = True
+                    continue
+                if d_ok:
+                    self._run_drain(due)
+                    continue
+                break
+        finally:
+            self._settling = False
+        if delivered and (self.rx_nic.idle_napis or self._wake is not None):
+            # Deliveries can expose a new head train (or leave a deferred one
+            # without its guaranteed settle point): keep the wake plan fresh.
+            # With zero idle contexts and no armed wake there is nothing to
+            # plan — the idle transition itself re-arms.
+            self.rearm()
+
+    def settle_final(self, bound: int) -> None:
+        """Run-boundary settlement: everything due up to and including
+        ``bound`` (the engine fires events with ``time <= until``)."""
+        self.settle(bound, include_eq_arrivals=True, include_eq_drains=True)
+
+    def _run_drain(self, vt: int) -> None:
+        """Replay one ``Nic._tx_drain`` firing at virtual time ``vt``."""
+        self._tx_version += 1
+        nic = self.tx_nic
+        link = self.link
+        max_ahead = 2 * nic.TX_BATCH_FRAMES * nic.mtu
+        backlog = link.backlog_bytes_at(vt)
+        if backlog > max_ahead:
+            self.drain_due = vt + transmission_time_ns(
+                backlog - max_ahead, link.bandwidth_bps
+            )
+            return
+        batch = nic._compose_tx_batch()
+        if not batch:
+            self.drain_due = None
+            return
+        nic.tx_frames += len(batch)
+        batch_bytes = sum(f.wire_bytes for f in batch)
+        nic.tx_bytes += batch_bytes
+        delivered, delivered_bytes, finish = link.serialize_at(batch, vt)
+        if delivered:
+            link.frames_in_flight += len(delivered)
+            link.bytes_in_flight += delivered_bytes
+            self.inflight.append(
+                FrameTrain(delivered, delivered_bytes, link.arrival_time(finish), vt)
+            )
+        if nic._tx_flows:
+            self.drain_due = vt + transmission_time_ns(
+                batch_bytes, link.bandwidth_bps
+            )
+        else:
+            self.drain_due = None
+
+    def _deliver(self, train: FrameTrain) -> None:
+        """Replay one ``Link._deliver_batch`` + ``Nic.handle_rx`` arrival."""
+        link = self.link
+        frames = train.frames
+        link.frames_in_flight -= len(frames)
+        link.bytes_in_flight -= train.wire_bytes
+        link.frames_delivered += len(frames)
+        link.bytes_delivered += train.wire_bytes
+        arrival = train.arrival_ns
+        touched = self.rx_nic._rx_ingest(frames, arrival)
+        for queue in touched.values():
+            if queue.napi is not None:
+                queue.napi.notify_at(arrival)
+
+    # --- wake management --------------------------------------------------------
+
+    def rearm(self) -> None:
+        """Arm (or clear) the single wake event for the next train.
+
+        A wake is needed only when an idle NAPI context has a *punctual
+        action* — an IRQ raise or coalesce-timer start whose exact instant
+        other events can observe. Per idle-target queue of the head train the
+        policy yields the action's instant, or ``None`` when an
+        already-scheduled engine event (the target core's running-job finish)
+        is guaranteed to settle the delivery in time, making the action a
+        pure replay that needs no event of its own. The wake lands at the
+        earliest uncovered instant; when every action is covered the wire
+        runs entirely on borrowed events.
+        """
+        self.plan_core = None
+        if not self._has_idle_target():
+            self._disarm()
+            return
+        if self.inflight:
+            head = self.inflight[0]
+            target: Optional[int] = head.arrival_ns
+            per_flow: Optional[dict] = head.flow_frames
+            planned = False
+        else:
+            target, per_flow = self._plan_first_arrival()
+            planned = True
+        if target is None:
+            self._disarm()
+            return
+        wake, wake_core = self._policy_wake_time(target, per_flow, planned)
+        if wake is None:
+            self._disarm()
+            return
+        self.plan_core = wake_core
+        now = self.engine.now
+        if wake < now:
+            wake = now
+        cur = self._wake
+        if cur is not None and not cur.cancelled and self._wake_time == wake:
+            return
+        self._disarm()
+        self._wake = self.engine.schedule_at(wake, self._on_wake)
+        self._wake_time = wake
+
+    def _policy_wake_time(
+        self, T: int, per_flow: dict, planned: bool
+    ) -> Tuple[Optional[int], Optional[object]]:
+        """Earliest uncovered punctual-action instant for the head train.
+
+        ``per_flow`` maps flow id to frame count for the head batch. Returns
+        ``(wake_time, plan_core)``: ``wake_time`` is ``None`` when every
+        idle-target action is covered by an existing engine event;
+        ``plan_core`` is the core whose idle state an idle-core stand-in
+        prediction depends on (submissions to it re-plan), else ``None``.
+        """
+        target = self._target
+        per_queue: dict = {}
+        for flow_id, count in per_flow.items():
+            queue, _napi = target(flow_id)
+            per_queue[queue] = per_queue.get(queue, 0) + count
+        # Idle-target flows outside the head train's queues (later trains,
+        # Tx backlog) will need their own wake chain after the head lands;
+        # a covered head would leave them without a guaranteed punctual
+        # settle point, so fall back to a plain wake at the head arrival.
+        if self._others_need_punctual(per_queue, skip_head=not planned):
+            return T, None
+        wake: Optional[int] = None
+        wake_core = None
+        for queue, nframes in per_queue.items():
+            napi = queue.napi
+            if napi is None or napi.scheduled:
+                continue  # no punctual action: notify() would no-op
+            punctual, core = self._queue_punctual(queue, napi, nframes, T, planned)
+            if punctual is not None and (wake is None or punctual < wake):
+                wake = punctual
+                wake_core = core
+        return wake, wake_core
+
+    def _queue_punctual(
+        self, queue, napi, nframes: int, T: int, planned: bool
+    ) -> Tuple[Optional[int], Optional[object]]:
+        """Punctual-action instant for one idle NAPI target, or ``None``.
+
+        Replays :meth:`NapiContext.notify_at`'s branch decision as of the
+        arrival ``T`` without mutating anything. Covered cases (``None``):
+        the target core is busy and its running job finishes *after* the
+        action instant — the finish event's settle hook replays the delivery
+        (and any overdue inline raise) with exact virtual times before the
+        core picks its next job. Idle cores get a stand-in wake at the IRQ
+        job's finish instant, so the poll chain's real-time side effects
+        (repolls, ACK transmits) run at the legacy wall-clock.
+        """
+        if self.rx_nic.lro or queue.avail_descriptors < nframes:
+            # LRO merging or descriptor drops change what lands in the
+            # pending queue: don't predict past ingest, wake punctually.
+            return T, None
+        core = napi.core
+        running = core._running
+        # The core's state at the action is predictable when it is idle now,
+        # or busy with nothing queued behind the running job (it goes idle at
+        # ``busy_until`` unless something new is submitted — and submissions
+        # to a ``plan_core`` re-plan). Then the IRQ job's start replays
+        # virtually and the wake stands in at its *finish*, where on_done's
+        # real-time side effects (the poll submission) belong.
+        predictable_idle = running is None or core.queue_depth() == 0
+        recently = T - napi._last_activity_ns < IRQ_IDLE_RESET_NS
+        if recently and len(queue.pending) + nframes < IRQ_COALESCE_FRAMES:
+            punctual = T + IRQ_COALESCE_NS
+            if running is not None and core.busy_until > punctual:
+                return None, None  # raise replayed inline at the covering finish
+            if not predictable_idle:
+                return punctual, None  # parity with the legacy coalesce event
+            return punctual + self._irq_job_ns(core, napi), core
+        # Immediate raise at the arrival instant.
+        if running is not None and core.busy_until > T:
+            return None, None  # submission replayed at the covering finish
+        if not predictable_idle:
+            return T, None
+        duration = self._irq_job_ns(core, napi)
+        link = self.link
+        if (
+            planned
+            and recently
+            and duration >= IRQ_COALESCE_NS
+            and link.has_switch
+            and link.loss_rate > 0
+        ):
+            # Switch drops could thin the batch below the coalesce threshold
+            # and flip the branch to a raise *before* this wake; with
+            # duration < IRQ_COALESCE_NS the flipped raise lands after the
+            # wake and gets its own parity event, so only this corner bails.
+            return T, None
+        return T + duration, core
+
+    def _irq_job_ns(self, core, napi) -> int:
+        """Predicted wall time of the IRQ handler job on ``core``.
+
+        Exact while the core stays undisturbed: ``_last_context`` only
+        changes when a job starts, and every submission to the plan core
+        re-plans before anything else can observe the difference.
+        """
+        switch = 0.0
+        last = core._last_context
+        if last is not None and last != ("softirq", core.core_id):
+            switch = core.costs.context_switch_cycles
+        cycles = switch + napi.costs.irq_cycles
+        return max(1, int(cycles / core.freq_hz * 1e9))
+
+    def _others_need_punctual(self, head_queues, skip_head: bool) -> bool:
+        """Any idle-NAPI flow (beyond the head train) outside ``head_queues``?"""
+        target = self._target
+        for index, train in enumerate(self.inflight):
+            if skip_head and index == 0:
+                continue
+            for flow_id in train.flow_frames:
+                queue, napi = target(flow_id)
+                if queue in head_queues:
+                    continue
+                if napi is not None and not napi.scheduled:
+                    return True
+        for flow_id in self.tx_nic._tx_flows:
+            queue, napi = target(flow_id)
+            if queue in head_queues:
+                continue
+            if napi is not None and not napi.scheduled:
+                return True
+        return False
+
+    def _disarm(self) -> None:
+        wake = self._wake
+        if wake is not None:
+            wake.cancel()
+            self._wake = None
+
+    def _on_wake(self) -> None:
+        self._wake = None
+        engine = self.engine
+        now = engine.now
+        # Overdue work first (this also runs any drain producing the train
+        # that arrives exactly now: drains always precede their arrivals).
+        self.settle(now)
+        if self.inflight and self.inflight[0].arrival_ns == now:
+            # An arrival lands exactly at this instant. Other events queued
+            # for the same instant may precede it in the legacy order (their
+            # insertion decides); any of them that can observe wire state
+            # settles through its own hook at the right position, so the
+            # wake only has to fire *last*: requeue to the end of the
+            # instant until the queue at `now` is clear. The peer pipeline's
+            # wake delivers onto the other host and commutes with ours.
+            peer_wake = self.peer._wake if self.peer is not None else None
+            ignore = (peer_wake,) if peer_wake is not None else ()
+            if engine.has_pending_now(ignore=ignore):
+                self._wake = engine.schedule_at(now, self._on_wake)
+                self._wake_time = now
+                return
+        self.settle(now, include_eq_arrivals=True)
+        self.rearm()
+
+    def _target(self, flow_id) -> tuple:
+        """``(RxQueue, NapiContext)`` for ``flow_id``, cached (steering is
+        static once a flow exists; aRFS installs happen at registration)."""
+        entry = self._flow_target.get(flow_id)
+        if entry is None:
+            queue = self.rx_nic.steering.queue_for(flow_id)
+            entry = self._flow_target[flow_id] = (queue, queue.napi)
+        return entry
+
+    def _has_idle_target(self) -> bool:
+        if self.rx_nic.idle_napis == 0:
+            return False  # saturated path: every context is mid-poll
+        target = self._target
+        for train in self.inflight:
+            for flow_id in train.flow_frames:
+                napi = target(flow_id)[1]
+                if napi is not None and not napi.scheduled:
+                    return True
+        for flow_id in self.tx_nic._tx_flows:
+            napi = target(flow_id)[1]
+            if napi is not None and not napi.scheduled:
+                return True
+        return False
+
+    def _plan_first_arrival(self) -> Tuple[Optional[int], Optional[dict]]:
+        """Exact ``(arrival, flow_frames)`` of the next train, without mutating.
+
+        Mirrors ``_run_drain``: the pacing-deferral chain, then a pure peek
+        of the round-robin batch, then per-frame serialization (sums of the
+        same memoized integer delays the real drain will use). Loss draws do
+        not alter timing, so the plan matches the eventual replay exactly;
+        an all-dropped batch merely yields one spurious (harmless) wake.
+        """
+        vt = self.drain_due
+        if vt is None:
+            return None, None
+        version, cached_due, arrival, per_flow = self._plan_cache
+        if version == self._tx_version and cached_due == vt:
+            return arrival, per_flow
+        link = self.link
+        nic = self.tx_nic
+        max_ahead = 2 * nic.TX_BATCH_FRAMES * nic.mtu
+        bandwidth = link.bandwidth_bps
+        while True:
+            backlog = link.backlog_bytes_at(vt)
+            if backlog <= max_ahead:
+                break
+            vt += transmission_time_ns(backlog - max_ahead, bandwidth)
+        batch = nic._peek_tx_batch()
+        if not batch:
+            self._plan_cache = (self._tx_version, self.drain_due, None, None)
+            return None, None
+        finish = max(vt, link._free_at)
+        per_flow: dict = {}
+        for frame in batch:
+            finish += transmission_time_ns(frame.wire_bytes, bandwidth)
+            fid = frame.flow_id
+            per_flow[fid] = per_flow.get(fid, 0) + 1
+        arrival = link.arrival_time(finish)
+        self._plan_cache = (self._tx_version, self.drain_due, arrival, per_flow)
+        return arrival, per_flow

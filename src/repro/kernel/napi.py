@@ -14,7 +14,7 @@ behind the paper's host-latency/BDP findings (§3.1).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from ..constants import (
     IRQ_COALESCE_FRAMES,
@@ -46,6 +46,7 @@ class NapiContext:
         # GRO runs in software unless LRO already merged in the NIC.
         self.gro = GroEngine(self.costs, enabled=opts.tso_gro and not opts.lro)
         self.scheduled = False
+        host.nic.idle_napis += 1
         self.polls = 0
         self.irqs = 0
         self._last_activity_ns = -IRQ_IDLE_RESET_NS
@@ -63,23 +64,48 @@ class NapiContext:
         traffic it is held back until a few frames accumulate or the
         coalescing timer expires (throughput mode).
         """
+        self.notify_at(self.host.engine.now)
+
+    def notify_at(self, arrival_ns: int) -> None:
+        """``notify`` evaluated as of ``arrival_ns``.
+
+        The frame-train pipeline may replay a delivery after its arrival
+        instant (only when the replay is unobservable); every time-dependent
+        input here — the idle-reset window, the coalesce deadline, the
+        activity stamp — therefore uses the *arrival* time, so a late replay
+        produces the exact event-time behaviour of the punctual one. State
+        inputs (``pending``, ``_last_activity_ns``) are untouched between
+        arrival and replay by construction: they only change under
+        ``scheduled`` episodes, which a wake-armed pipeline never spans.
+        """
         if self.scheduled:
             return
         self.scheduled = True
-        now = self.host.engine.now
-        recently_active = now - self._last_activity_ns < IRQ_IDLE_RESET_NS
+        self.host.nic.idle_napis -= 1
+        recently_active = arrival_ns - self._last_activity_ns < IRQ_IDLE_RESET_NS
         pending = len(self.rxq.pending)
         if recently_active and pending < IRQ_COALESCE_FRAMES:
-            self.host.engine.schedule(IRQ_COALESCE_NS, self._raise_irq)
+            raise_at = arrival_ns + IRQ_COALESCE_NS
+            engine = self.host.engine
+            if raise_at <= engine.now:
+                # The coalesce deadline already passed (the pipeline held the
+                # delivery back because the raise needs no event of its own):
+                # run it inline at its virtual time.
+                self._raise_irq(raise_at)
+            else:
+                engine.schedule_at(raise_at, self._raise_irq)
         else:
-            self._raise_irq()
+            self._raise_irq(arrival_ns)
 
-    def _raise_irq(self) -> None:
+    def _raise_irq(self, vt: Optional[int] = None) -> None:
+        if vt is None:
+            vt = self.host.engine.now
         self.irqs += 1
-        self._last_activity_ns = self.host.engine.now
+        self._last_activity_ns = vt
         items: ChargeItems = [("handle_irq_event", self.costs.irq_cycles)]
         self.core.submit_work(
-            ("softirq", self.core.core_id), items, self._poll, PRIORITY_SOFTIRQ
+            ("softirq", self.core.core_id), items, self._poll, PRIORITY_SOFTIRQ,
+            vt=vt,
         )
 
     def _take_batch(self) -> Tuple[List["RxFrameRecord"], int]:
@@ -93,9 +119,20 @@ class NapiContext:
         return batch, frames
 
     def _poll(self) -> None:
+        # Settle the wire up to this instant before taking a batch: trains
+        # that arrived since the last poll consume descriptors and enqueue
+        # completions exactly as their per-frame arrival events would have
+        # (notify() no-ops while we are scheduled, so timing is unaffected).
+        engine = self.host.engine
+        pipeline = self.host.nic.rx_pipeline
+        if pipeline is not None:
+            pipeline.settle(engine.now, cur_ins=engine.current_inserted_at)
         batch, nframes = self._take_batch()
         if not batch:
             self.scheduled = False
+            self.host.nic.idle_napis += 1
+            if pipeline is not None:
+                pipeline.rearm()
             return
         self.polls += 1
         core = self.core
@@ -157,6 +194,13 @@ class NapiContext:
                 self.host.nic.transmit(ack_frames)
             for target_core, skbs in remote.items():
                 self._forward_to_core(target_core, skbs)
+            # Trains that arrived while the poll job ran must land in the
+            # pending queue before the repoll decision (their per-frame
+            # arrival events fired before this completion in the legacy path).
+            engine = self.host.engine
+            pipeline = self.host.nic.rx_pipeline
+            if pipeline is not None:
+                pipeline.settle(engine.now, cur_ins=engine.current_inserted_at)
             if self.rxq.pending:
                 # Budget exhausted with work left: repoll without a new IRQ.
                 self.core.submit_work(
@@ -167,6 +211,11 @@ class NapiContext:
                 )
             else:
                 self.scheduled = False
+                self.host.nic.idle_napis += 1
+                if pipeline is not None:
+                    # This context just went idle: future arrivals need a
+                    # punctual wake to raise the IRQ at the right instant.
+                    pipeline.rearm()
 
         core.submit_work(("softirq", core.core_id), items, done, PRIORITY_SOFTIRQ)
 

@@ -884,6 +884,10 @@ class TcpEndpoint:
         nic = self.host.nic
         local_cache = self.app_core.numa_node == nic.numa_node
         dca = nic.dca
+        if dca is not None and nic.rx_pipeline is not None:
+            # Settle pending DMA writes before reading slice occupancy.
+            engine = self.host.engine
+            nic.rx_pipeline.settle(engine.now, cur_ins=engine.current_inserted_at)
         regions = skb.regions
         while regions and consumed < chunk:
             region_id, nbytes = regions.pop(0)

@@ -81,7 +81,16 @@ _TIME_KEY = attrgetter("time")
 class Event:
     """A scheduled callback. Returned by :meth:`Engine.schedule` for cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "engine", "bucket")
+    __slots__ = (
+        "time",
+        "seq",
+        "fn",
+        "args",
+        "cancelled",
+        "engine",
+        "bucket",
+        "inserted_at",
+    )
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -91,6 +100,13 @@ class Event:
         self.cancelled = False
         self.engine: Optional["Engine"] = None  # set while queued
         self.bucket: Optional[List["Event"]] = None  # wheel slot, while queued
+        #: Virtual time at which this event was scheduled. Same-timestamp
+        #: events fire in scheduling order, so comparing insertion times
+        #: reconstructs the firing order of two events at one instant (exact
+        #: whenever the insertion times differ). The train fast path uses
+        #: this to replay wire arrivals at their legacy position within an
+        #: instant without materializing the arrival event.
+        self.inserted_at = 0
 
     def cancel(self) -> None:
         """Prevent this event from firing. Safe to call multiple times.
@@ -106,6 +122,7 @@ class Event:
         engine = self.engine
         if engine is None:
             return
+        engine.events_cancelled += 1
         bucket = self.bucket
         if bucket is not None and bucket and bucket[-1] is self:
             bucket.pop()
@@ -170,9 +187,17 @@ class Engine:
         self._active_block = -1
         self._active_bucket: Optional[List[Event]] = None
         self._drain_index = 0
+        #: Insertion time (``Event.inserted_at``) of the callback currently
+        #: executing, or ``None`` outside the run loop. Lets lazily-replayed
+        #: work decide whether a same-instant wire arrival would have fired
+        #: before or after the current event in the legacy event order.
+        self.current_inserted_at: Optional[int] = None
         # statistics
         self.events_fired = 0
         self.events_recycled = 0
+        #: Cumulative count of cancel() calls on still-queued events (the
+        #: arm-then-cancel churn the wheel absorbs); never decremented.
+        self.events_cancelled = 0
 
     @property
     def now(self) -> int:
@@ -199,6 +224,7 @@ class Engine:
             event.cancelled = False
         else:
             event = Event(time, 0, fn, args)
+        event.inserted_at = self._now
         event.engine = self
         self._queued += 1
         # Inlined _insert (this is the hottest producer path).
@@ -259,6 +285,7 @@ class Engine:
             event.cancelled = False
         else:
             event = Event(time, 0, fn, args)
+        event.inserted_at = self._now
         event.engine = self
         self._queued += 1
         block = time >> _PRE_SHIFT
@@ -561,6 +588,7 @@ class Engine:
                             event.args = ()
                         continue
                     self._now = time
+                    self.current_inserted_at = event.inserted_at
                     fired += 1
                     fn = event.fn
                     args = event.args
@@ -613,6 +641,7 @@ class Engine:
                             event.args = ()
                         continue
                     self._now = event.time
+                    self.current_inserted_at = event.inserted_at
                     self._queued -= 1
                     fired += 1
                     fn = event.fn
@@ -647,6 +676,7 @@ class Engine:
             self._draining = False
             self._active_block = -1
             self._active_bucket = None
+            self.current_inserted_at = None
             self.events_fired += fired
         if until is not None and self._now < until:
             self._now = until
@@ -657,6 +687,37 @@ class Engine:
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events. O(1)."""
         return self._queued - self._cancelled_in_queue
+
+    def has_pending_now(self, ignore=()) -> bool:
+        """True when another live event is still queued for the *current*
+        instant (``time == now``), excluding any event in ``ignore``.
+
+        All events sharing a timestamp live in one level-0 block: events
+        queued before the block drain sit in the active bucket, and events
+        scheduled for ``now`` mid-drain are insorted ahead of the drain
+        index — so scanning the drain tail (or, on the single-occupant fast
+        path, the block's slot list) is exhaustive. Used by the train wake
+        to defer same-instant deliveries to the end of the instant.
+        """
+        now = self._now
+        if (
+            self._draining
+            and self._active_bucket is not None
+            and (now >> _PRE_SHIFT) == self._active_block
+        ):
+            tail = self._active_bucket[self._drain_index :]
+        else:
+            bucket = self._slots[0][(now >> _PRE_SHIFT) & _WHEEL_MASK]
+            tail = bucket if bucket else ()
+        for event in tail:
+            if (
+                event is not None
+                and not event.cancelled
+                and event.time == now
+                and event not in ignore
+            ):
+                return True
+        return False
 
     def _iter_queued(self):
         """Every queued event (wheel slots in level order, then the heap).

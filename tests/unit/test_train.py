@@ -1,0 +1,131 @@
+"""Unit tests for the frame-train fast path (``repro.hardware.train``).
+
+The randomized equivalence sweep lives in
+``tests/property/test_train_equivalence.py``; these tests pin down the
+deterministic contracts — the pipeline is actually wired (and unwired under
+``--no-train``), the event-count win is real on a known config, trains
+conserve frames through settlement, and the flag stays invisible to the
+content-addressed result cache.
+"""
+
+from repro.config import ExperimentConfig, TrafficPattern
+from repro.core.cache import config_cache_key
+from repro.core.experiment import Experiment
+from repro.core.export import result_to_dict
+from repro.hardware.train import FrameTrain, TrainPipeline
+from repro.units import msec
+
+
+def _experiment(frame_trains, **kwargs):
+    config = ExperimentConfig(
+        duration_ns=msec(1),
+        warmup_ns=msec(1),
+        frame_trains=frame_trains,
+        **kwargs,
+    )
+    return Experiment(config)
+
+
+# --- wiring -------------------------------------------------------------------
+
+
+def test_pipeline_wired_by_default():
+    experiment = _experiment(True)
+    assert len(experiment.pipelines) == 2
+    fwd, rev = experiment.pipelines
+    assert fwd.peer is rev and rev.peer is fwd
+    assert experiment.sender.nic.tx_pipeline is fwd
+    assert experiment.receiver.nic.rx_pipeline is fwd
+    # Every core of the host a pipeline delivers into settles it on job
+    # submission/completion (the pipeline's observable hooks).
+    for core in experiment.receiver.topology.cores:
+        assert core._rx_settle is fwd
+    for core in experiment.sender.topology.cores:
+        assert core._rx_settle is rev
+
+
+def test_no_train_unwires_the_pipeline():
+    experiment = _experiment(False)
+    assert experiment.pipelines == []
+    assert experiment.sender.nic.tx_pipeline is None
+    assert experiment.sender.nic.rx_pipeline is None
+    for host in (experiment.sender, experiment.receiver):
+        for core in host.topology.cores:
+            assert core._rx_settle is None
+
+
+# --- the observable contract on one known config ------------------------------
+
+
+def test_train_mode_identical_results_fewer_events():
+    train = _experiment(True)
+    legacy = _experiment(False)
+    train_payload = result_to_dict(train.run())
+    legacy_payload = result_to_dict(legacy.run())
+    assert train_payload == legacy_payload
+    # The tentpole target is >=30% on the benchmark panels; a short unit run
+    # must still show a solid cut, not a rounding error.
+    assert train.engine.events_fired < 0.9 * legacy.engine.events_fired
+
+
+def test_incast_mode_identical_results():
+    kwargs = dict(pattern=TrafficPattern.INCAST, num_flows=4)
+    train = _experiment(True, **kwargs)
+    legacy = _experiment(False, **kwargs)
+    assert result_to_dict(train.run()) == result_to_dict(legacy.run())
+
+
+# --- train/pipeline mechanics -------------------------------------------------
+
+
+def test_trains_settled_up_to_run_end():
+    experiment = _experiment(True)
+    experiment.run()
+    end_ns = experiment.config.warmup_ns + experiment.config.duration_ns
+    for pipeline in experiment.pipelines:
+        # Everything observable by the end instant has been replayed; only
+        # trains still genuinely on the wire (arriving after the end) remain.
+        assert all(train.arrival_ns > end_ns for train in pipeline.inflight)
+        assert not pipeline._pending_finishes
+
+
+def test_frame_train_flow_frames_lazy_and_cached():
+    class _F:
+        def __init__(self, flow_id):
+            self.flow_id = flow_id
+
+    train = FrameTrain(
+        [_F(1), _F(1), _F(2)], wire_bytes=4500, arrival_ns=10, drain_vt=0
+    )
+    assert train._flow_frames is None
+    counts = train.flow_frames
+    assert counts == {1: 2, 2: 1}
+    assert train.flow_frames is counts
+
+
+def test_train_inflight_matches_link_counters():
+    experiment = _experiment(True)
+    experiment.run()
+    for pipeline in experiment.pipelines:
+        # The auditor's train-resolved wire identity: whatever the link
+        # thinks is in flight must be exactly the frames/bytes aboard queued
+        # trains — zero on both sides once the run has settled.
+        assert pipeline.link.frames_in_flight == sum(
+            len(train.frames) for train in pipeline.inflight
+        )
+        assert pipeline.link.bytes_in_flight == sum(
+            train.wire_bytes for train in pipeline.inflight
+        )
+        assert pipeline.link.frames_delivered > 0
+
+
+# --- cache-key transparency ---------------------------------------------------
+
+
+def test_frame_trains_flag_excluded_from_cache_key():
+    on = ExperimentConfig(frame_trains=True)
+    off = ExperimentConfig(frame_trains=False)
+    assert on.to_canonical_dict() == off.to_canonical_dict()
+    assert config_cache_key(on) == config_cache_key(off)
+    # ...while a real experiment parameter still changes the key.
+    assert config_cache_key(on) != config_cache_key(on.replace(seed=2))

@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""CI perf gate: engine micro-benchmarks vs the committed baseline.
+"""CI perf gate: engine micro-benchmarks and figure costs vs the baseline.
 
-Runs the timer-wheel engine micro-benchmarks (same workloads as
-``benchmarks/test_bench_engine.py`` and ``repro bench``) and compares their
-*calibration-normalized* throughput against ``benchmarks/baseline_engine.json``.
-Normalizing by a fixed pure-Python spin makes the committed numbers portable
-across machines; the gate fails when either path drops more than the
-tolerance (default 25%) below baseline.
+Two gates against ``benchmarks/baseline_engine.json``:
+
+* **Engine** — the timer-wheel micro-benchmarks (same workloads as
+  ``benchmarks/test_bench_engine.py`` and ``repro bench``), compared by
+  *calibration-normalized* throughput. Fails when either path drops more
+  than the tolerance (default 25%) below baseline.
+* **Figures** — each gated panel is regenerated cold with the frame-train
+  fast path on and off. Gated quantities: normalized cost (wall time ×
+  calibration throughput, a machine-independent work unit) for both modes,
+  with tolerance headroom, and the fractional reduction in engine events
+  fired with trains on — enforced exactly (it is a structural property of
+  the simulation, not a timing).
 
 Usage::
 
     PYTHONPATH=src python tools/check_bench_regression.py
+    PYTHONPATH=src python tools/check_bench_regression.py --figures none
     PYTHONPATH=src python tools/check_bench_regression.py --update  # re-baseline
 """
 
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -27,6 +35,48 @@ from repro import bench  # noqa: E402
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline_engine.json"
 
+#: Required drop in engine events fired when the frame-train path is on,
+#: per gated figure. Kept in the tool (not just the baseline file) so a
+#: plain ``--update`` can never quietly weaken it.
+MIN_EVENTS_REDUCTION = 0.30
+
+
+def _time_figure(name: str, frame_trains: bool, repeat: int):
+    """Best-of-N cold wall time and engine events fired for one panel."""
+    from repro.cli import _run_panel
+    from repro.figures import base as figures_base
+
+    best = float("inf")
+    for _ in range(repeat):
+        figures_base.STATS.reset()
+        start = time.perf_counter()
+        _run_panel(name, jobs=1, cache=None, audit=False, frame_trains=frame_trains)
+        best = min(best, time.perf_counter() - start)
+    return best, figures_base.STATS.events_fired
+
+
+def _figure_metrics(names, repeat: int, calibration_ops: float):
+    rows = {}
+    for name in names:
+        print(f"figure gate: timing {name} (train / --no-train)...")
+        wall, events = _time_figure(name, True, repeat)
+        wall_legacy, events_legacy = _time_figure(name, False, repeat)
+        rows[name] = {
+            "normalized_cost": wall * calibration_ops,
+            "normalized_cost_no_train": wall_legacy * calibration_ops,
+            "events_fired": events,
+            "events_fired_no_train": events_legacy,
+            "events_reduction": (
+                1.0 - events / events_legacy if events_legacy else 0.0
+            ),
+        }
+        print(
+            f"  {name}: {wall:.3f}s / {wall_legacy:.3f}s wall, "
+            f"{events:,} / {events_legacy:,} events "
+            f"({rows[name]['events_reduction']:.1%} fewer with trains)"
+        )
+    return rows
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -34,7 +84,13 @@ def main() -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop below baseline (default 0.25)")
     parser.add_argument("--repeat", type=int, default=5,
-                        help="rounds per measurement, best-of-N (default 5)")
+                        help="rounds per engine measurement, best-of-N (default 5)")
+    parser.add_argument("--figures", default="fig3a,fig9a",
+                        help="comma-separated panels for the figure gate "
+                        "(default fig3a,fig9a — the single-flow and multi-flow "
+                        "tentpole panels; 'none' skips it)")
+    parser.add_argument("--figure-repeat", type=int, default=2,
+                        help="rounds per figure measurement, best-of-N (default 2)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this machine's numbers")
     args = parser.parse_args()
@@ -49,12 +105,30 @@ def main() -> int:
         f"(normalized {current['cancel_churn_normalized']:.4f})"
     )
 
+    names = []
+    if args.figures and args.figures != "none":
+        names = [n.strip() for n in args.figures.split(",") if n.strip()]
+    figure_rows = _figure_metrics(
+        names, args.figure_repeat, current["calibration_ops_per_sec"]
+    )
+
     if args.update:
         doc = {
-            "comment": "calibration-normalized engine throughput floor for CI; "
-            "regenerate with tools/check_bench_regression.py --update",
+            "comment": "calibration-normalized perf floors for CI; regenerate "
+            "with tools/check_bench_regression.py --update (engine floors are "
+            "throughput minima; figure entries are normalized-cost ceilings "
+            "for the frame-train and --no-train wire paths, plus the exact "
+            "events-fired reduction the train path must keep delivering)",
             "schedule_run_normalized": current["schedule_run_normalized"],
             "cancel_churn_normalized": current["cancel_churn_normalized"],
+            "figures": {
+                name: {
+                    "max_normalized_cost": row["normalized_cost"],
+                    "max_normalized_cost_no_train": row["normalized_cost_no_train"],
+                    "min_events_reduction": MIN_EVENTS_REDUCTION,
+                }
+                for name, row in figure_rows.items()
+            },
         }
         with open(args.baseline, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -64,6 +138,12 @@ def main() -> int:
 
     baseline = bench.load_baseline(args.baseline)
     failures = bench.compare_to_baseline(current, baseline, args.tolerance)
+    gated = {
+        name: floor
+        for name, floor in baseline.get("figures", {}).items()
+        if not names or name in names
+    }
+    failures += bench.compare_figures_to_baseline(figure_rows, gated, args.tolerance)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
