@@ -9,6 +9,7 @@ Usage examples::
     python -m repro figure fig8c --export /tmp/fig8c.csv
     python -m repro figure fig3a --no-cache      # force re-simulation
     python -m repro figure fig3a --audit         # conservation-audit every run
+    python -m repro trace fig3a                  # per-stage latency breakdown
     python -m repro audit fig3a --jobs 4         # audit only, no table output
     python -m repro list
 
@@ -125,6 +126,16 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--export", help="write the table to a .csv/.json file")
     _add_runner_args(figure)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one figure's experiments with per-stage latency tracing "
+        "and render the stage-by-stage breakdown (avg/p50/p99 per stage, "
+        "audit-checked against the end-to-end copy latency)",
+    )
+    trace.add_argument("name", help="e.g. fig3a, fig8c, table1")
+    trace.add_argument("--export", help="write the trace table to .csv/.json")
+    _add_runner_args(trace)
+
     audit = sub.add_parser(
         "audit",
         help="run one figure's experiments under the conservation auditor "
@@ -232,24 +243,34 @@ def _audit_exit_code(report) -> int:
     return 1 if report is not None and not report.ok else 0
 
 
-def _run_panel(name: str, jobs, cache, audit: bool, frame_trains: bool = True):
+def _run_panel(name: str, jobs, cache, audit: bool, frame_trains: bool = True,
+               trace: bool = False):
     """Run one figure panel under the given runner settings.
 
     Returns ``(table, merged_audit_report)``; the report is ``None`` when
-    auditing is off. Raises ``KeyError`` for an unknown panel name.
+    auditing is off. With ``trace`` a merged
+    :class:`~repro.trace.TraceReport` is appended: ``(table, audit_report,
+    trace_report)``. Raises ``KeyError`` for an unknown panel name.
     """
     from .core.audit import merge_reports
+    from .trace import TraceReport
 
     generator = _panel_registry()[name]
     figures_base.configure(
-        jobs=jobs, cache=cache, audit=audit, frame_trains=frame_trains
+        jobs=jobs, cache=cache, audit=audit, frame_trains=frame_trains,
+        trace=trace,
     )
     figures_base.STATS.reset()
     try:
         table = generator()
         report = merge_reports(figures_base.AUDIT_REPORTS) if audit else None
+        if trace:
+            # Merge before the finally clause's configure() clears the list.
+            trace_report = TraceReport.merge(figures_base.TRACE_REPORTS)
     finally:
         figures_base.configure()  # restore the sequential, uncached default
+    if trace:
+        return table, report, trace_report
     return table, report
 
 
@@ -276,6 +297,47 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.export:
         export_table(table, args.export)
         print(f"\nwritten to {args.export}")
+    return _audit_exit_code(report)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    jobs, cache, audit = _runner_settings(args)
+    try:
+        table, report, trace_report = _run_panel(
+            args.name, jobs, cache, audit,
+            frame_trains=not args.no_train, trace=True,
+        )
+    except KeyError:
+        print(f"unknown panel {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    stats = figures_base.STATS
+    if stats.experiments_run or stats.cache_hits:
+        print(
+            f"runner: {stats.experiments_run} experiments simulated, "
+            f"{stats.cache_hits} served from cache",
+            file=sys.stderr,
+        )
+    trace_table = trace_report.to_table(f"{args.name}: per-stage latency")
+    print(trace_table.render())
+    checks, violations = trace_report.check_identity()
+    if violations:
+        print(f"trace identity FAILED ({checks} checks):", file=sys.stderr)
+        for message in violations:
+            print(f"  - {message}", file=sys.stderr)
+    else:
+        print(
+            f"trace identity ok: stage deltas sum to end-to-end copy latency "
+            f"({checks} checks)",
+            file=sys.stderr,
+        )
+    if report is not None:
+        print(report.render(), file=sys.stderr)
+    if args.export:
+        export_table(trace_table, args.export)
+        print(f"\nwritten to {args.export}")
+    if violations:
+        return 1
     return _audit_exit_code(report)
 
 
@@ -388,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": cmd_run,
         "figure": cmd_figure,
+        "trace": cmd_trace,
         "audit": cmd_audit,
         "bench": cmd_bench,
         "list": cmd_list,

@@ -195,6 +195,12 @@ class ExperimentConfig:
     # content-addressed cache key / canonical dict.
     frame_trains: bool = field(default=True, metadata={"cache_key": False})
 
+    # Opt-in per-stage latency tracing (DESIGN.md §12). Unlike frame_trains
+    # this IS part of the cache key: traced results carry an extra payload
+    # section, so they must not be served from (or poison) untraced cache
+    # entries.
+    trace: bool = False
+
     def replace(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with top-level fields overridden."""
         return dataclasses.replace(self, **kwargs)

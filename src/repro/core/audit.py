@@ -193,6 +193,7 @@ class ConservationAuditor:
         self._audit_cycles()
         self._audit_engine()
         self._audit_metrics()
+        self._audit_trace()
         return self.report
 
     # --- byte conservation ------------------------------------------------------
@@ -426,6 +427,40 @@ class ConservationAuditor:
                 metrics.side(host.name).delivered_bytes,
                 sum(per_flow.values()),
                 "per-flow delivered map does not sum to the host counter",
+            )
+
+    # --- trace consistency ---------------------------------------------------------------
+
+    def _audit_trace(self) -> None:
+        """Traced runs only: the per-stage receive deltas must telescope to
+        the end-to-end copy latency, and the trace's internal e2e stream must
+        agree sample-exactly with the reservoir-backed copy-latency metric."""
+        hub = getattr(self.experiment, "trace", None)
+        if hub is None:
+            return
+        report = hub.report()
+        checks, violations = report.check_identity()
+        # _check_true re-counts each violated check, so only the passing
+        # ones are added here.
+        self.report.checks_run += checks - len(violations)
+        for message in violations:
+            self._check_true("trace.stage_sum", message.split(":")[0], False,
+                             message)
+        metrics = self.experiment.metrics
+        for host_name, stages in sorted(report.hosts.items()):
+            e2e = stages.get("e2e")
+            if e2e is None:
+                continue
+            side = metrics.side(host_name)
+            self._check_exact(
+                "trace.e2e_count", host_name,
+                len(side.latency_samples) + side.latency_dropped, e2e.count,
+                "traced e2e sample count != copy-latency observations",
+            )
+            self._check_exact(
+                "trace.e2e_total", host_name,
+                side.latency_total_ns, e2e.total_ns,
+                "traced e2e total != copy-latency total nanoseconds",
             )
 
 

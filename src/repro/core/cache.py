@@ -30,7 +30,10 @@ from .results import ExperimentResult
 #: that makes previously cached results stale.
 #: v2: per-tag throughput is single-sided (receiver host), latency payloads
 #: carry a ``dropped`` reservoir count, and results may embed audit reports.
-CACHE_SCHEMA_VERSION = 2
+#: v3: latency ``count`` means total observations with ``retained`` explicit,
+#: reservoir RNG streams are per-host, configs grow a ``trace`` key field,
+#: and traced results embed per-stage trace reports.
+CACHE_SCHEMA_VERSION = 3
 
 #: Orphaned write-then-rename temp files older than this are swept. Long
 #: enough that no live writer (a single experiment runs in seconds) can be

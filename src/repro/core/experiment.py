@@ -54,11 +54,16 @@ class Experiment:
         costs.validate()
         self.costs = costs
 
+        from ..trace import TraceHub
+
+        self.trace = TraceHub() if config.trace else None
         self.sender = Host(
-            self.engine, "sender", config, costs, self.profiler, self.metrics, self.rngs
+            self.engine, "sender", config, costs, self.profiler, self.metrics,
+            self.rngs, trace=self.trace,
         )
         self.receiver = Host(
-            self.engine, "receiver", config, costs, self.profiler, self.metrics, self.rngs
+            self.engine, "receiver", config, costs, self.profiler, self.metrics,
+            self.rngs, trace=self.trace,
         )
         self._wire_links()
         self.threads: List[AppThread] = []
@@ -86,6 +91,10 @@ class Experiment:
         )
         self.sender.nic.attach_tx(to_receiver, self.receiver.nic.handle_rx)
         self.receiver.nic.attach_tx(to_sender, self.sender.nic.handle_rx)
+        # A link's tx_wire stage is charged to the *transmitting* host (the
+        # wire stage lands on the receiving NIC's trace at Rx ingest).
+        to_receiver.trace = self.sender.trace
+        to_sender.trace = self.receiver.trace
         self.link_to_receiver = to_receiver
         self.link_to_sender = to_sender
         self.pipelines = []
@@ -206,6 +215,8 @@ class Experiment:
         self.sender.reset_cycle_accounting()
         self.receiver.reset_cycle_accounting()
         self.metrics.reset()
+        if self.trace is not None:
+            self.trace.reset()
         snapshot = self._counter_snapshot()
 
         end_ns = cfg.warmup_ns + cfg.duration_ns
@@ -289,6 +300,7 @@ class Experiment:
             ),
             throughput_by_tag_gbps=by_tag,
             per_flow_gbps=per_flow,
+            trace=self.trace.report() if self.trace is not None else None,
         )
 
     def _summary_string(self) -> str:

@@ -16,6 +16,7 @@ from .metrics import LatencyStats
 from .report import Table
 from .results import BreakdownTable, ExperimentResult
 from .taxonomy import Category
+from ..trace import TraceReport
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -49,6 +50,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
             "max": result.copy_latency.max_ns,
             "count": result.copy_latency.count,
             "dropped": result.copy_latency.dropped_samples,
+            "retained": result.copy_latency.retained,
         },
         "rx_skb_sizes": {str(k): v for k, v in sorted(result.rx_skb_sizes.items())},
         "retransmits": result.retransmits,
@@ -61,6 +63,8 @@ def result_to_dict(result: ExperimentResult) -> dict:
     }
     if result.audit_report is not None:
         payload["audit"] = result.audit_report.to_dict()
+    if result.trace is not None:
+        payload["trace"] = result.trace.to_dict()
     return payload
 
 
@@ -91,6 +95,8 @@ def result_from_dict(payload: dict) -> ExperimentResult:
             p99_ns=latency["p99"],
             max_ns=latency["max"],
             dropped_samples=latency.get("dropped", 0),
+            # Pre-v3 payloads stored the retained size as "count".
+            retained=latency.get("retained", latency["count"]),
         ),
         rx_skb_sizes={int(size): count
                       for size, count in payload["rx_skb_sizes"].items()},
@@ -104,6 +110,9 @@ def result_from_dict(payload: dict) -> ExperimentResult:
                        for flow, gbps in payload["per_flow_gbps"].items()},
         audit_report=(
             AuditReport.from_dict(payload["audit"]) if "audit" in payload else None
+        ),
+        trace=(
+            TraceReport.from_dict(payload["trace"]) if "trace" in payload else None
         ),
     )
 

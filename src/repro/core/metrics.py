@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -16,19 +17,30 @@ from typing import Dict, List, Optional, Tuple
 #: Cap on stored latency samples per host (runs are short; this is generous).
 MAX_LATENCY_SAMPLES = 500_000
 
-#: Fixed seed for the latency reservoir: sampling past the cap must be
+#: Fixed base seed for the latency reservoirs: sampling past the cap must be
 #: deterministic so repeated runs of the same config report identical stats.
 _RESERVOIR_SEED = 0x5EED
+
+
+def _reservoir_seed(host: str) -> int:
+    """Per-host reservoir seed: the base seed keyed by a *stable* hash of the
+    host name (crc32, not Python's ``hash()``, which varies per process), so
+    each host draws from its own RNG stream and its retained sample set is
+    invariant to how the two hosts' recordings interleave."""
+    return _RESERVOIR_SEED ^ zlib.crc32(host.encode("utf-8"))
 
 
 @dataclass
 class LatencyStats:
     """Summary of a latency sample set, in nanoseconds.
 
-    ``dropped_samples`` counts recordings beyond the storage cap. They are not
-    silently discarded: past the cap the hub switches to deterministic seeded
-    reservoir sampling, so the retained set stays a uniform sample of *all*
-    recordings and the percentiles remain unbiased.
+    ``count`` is the total number of observations recorded. ``retained`` is
+    how many the hub stored verbatim (at most the reservoir cap) and
+    ``dropped_samples`` counts recordings beyond it — ``count == retained +
+    dropped_samples`` always. Overflow recordings are not silently discarded:
+    past the cap the hub switches to deterministic seeded reservoir sampling,
+    so the retained set stays a uniform sample of *all* recordings and the
+    percentiles remain unbiased.
     """
 
     count: int
@@ -37,13 +49,22 @@ class LatencyStats:
     p99_ns: float
     max_ns: float
     dropped_samples: int = 0
+    retained: int = 0
 
     @classmethod
     def from_samples(
         cls, samples: List[int], dropped_samples: int = 0
     ) -> "LatencyStats":
         if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, dropped_samples)
+            if dropped_samples:
+                # Reservoir sampling keeps the stored set non-empty whenever
+                # anything was recorded; dropped observations with nothing
+                # retained would silently zero avg/percentiles.
+                raise ValueError(
+                    f"{dropped_samples} dropped latency samples but no "
+                    "retained samples to summarize"
+                )
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0, 0)
         ordered = sorted(samples)
         n = len(ordered)
 
@@ -52,19 +73,26 @@ class LatencyStats:
             return float(ordered[index])
 
         return cls(
-            count=n,
+            count=n + dropped_samples,
             avg_ns=sum(ordered) / n,
             p50_ns=pct(0.50),
             p99_ns=pct(0.99),
             max_ns=float(ordered[-1]),
             dropped_samples=dropped_samples,
+            retained=n,
         )
 
 
 @dataclass
 class SideMetrics:
-    """Per-host counters."""
+    """Per-host counters.
 
+    Each side owns its latency reservoir RNG (seeded from the host name):
+    a hub-wide RNG would make one host's retained sample set depend on how
+    the *other* host's recordings interleave with its own.
+    """
+
+    host: str = ""
     delivered_bytes: int = 0
     copy_hit_bytes: int = 0
     copy_miss_bytes: int = 0
@@ -72,7 +100,11 @@ class SideMetrics:
     sender_copy_miss_bytes: int = 0
     latency_samples: List[int] = field(default_factory=list)
     latency_dropped: int = 0
+    latency_total_ns: int = 0
     rx_skb_sizes: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        self.latency_rng = random.Random(_reservoir_seed(self.host))
 
     def cache_miss_rate(self) -> float:
         total = self.copy_hit_bytes + self.copy_miss_bytes
@@ -87,17 +119,18 @@ class MetricsHub:
     """Shared metric sink for one experiment."""
 
     def __init__(self) -> None:
-        self._sides: Dict[str, SideMetrics] = defaultdict(SideMetrics)
+        self._sides: Dict[str, SideMetrics] = {}
         self._per_flow_bytes: Dict[Tuple[str, int], int] = defaultdict(int)
         self._flow_tags: Dict[int, str] = {}
-        self._reservoir_rng = random.Random(_RESERVOIR_SEED)
 
     def reset(self) -> None:
-        """Discard all measurements (end of warmup). Flow tags persist."""
+        """Discard all measurements (end of warmup). Flow tags persist.
+
+        Sides are recreated lazily with freshly seeded reservoir RNGs, so
+        post-warmup sampling is independent of warmup length.
+        """
         self._sides.clear()
         self._per_flow_bytes.clear()
-        # Reseed so post-warmup sampling is independent of warmup length.
-        self._reservoir_rng = random.Random(_RESERVOIR_SEED)
 
     # --- registration ------------------------------------------------------------
 
@@ -107,20 +140,22 @@ class MetricsHub:
     # --- recording -----------------------------------------------------------------
 
     def side(self, host: str) -> SideMetrics:
-        return self._sides[host]
+        side = self._sides.get(host)
+        if side is None:
+            side = self._sides[host] = SideMetrics(host)
+        return side
 
     def record_delivered(self, host: str, flow_id: int, nbytes: int) -> None:
-        side = self._sides[host]
-        side.delivered_bytes += nbytes
+        self.side(host).delivered_bytes += nbytes
         self._per_flow_bytes[(host, flow_id)] += nbytes
 
     def record_receiver_copy(self, host: str, hit: int, miss: int) -> None:
-        side = self._sides[host]
+        side = self.side(host)
         side.copy_hit_bytes += hit
         side.copy_miss_bytes += miss
 
     def record_sender_copy(self, host: str, hit: int, miss: int) -> None:
-        side = self._sides[host]
+        side = self.side(host)
         side.sender_copy_hit_bytes += hit
         side.sender_copy_miss_bytes += miss
 
@@ -132,19 +167,20 @@ class MetricsHub:
         seen (seeded, hence deterministic) instead of silently truncating —
         which would bias p99/max toward early steady state.
         """
-        side = self._sides[host]
+        side = self.side(host)
+        side.latency_total_ns += latency_ns
         samples = side.latency_samples
         if len(samples) < MAX_LATENCY_SAMPLES:
             samples.append(latency_ns)
             return
         side.latency_dropped += 1
         seen = MAX_LATENCY_SAMPLES + side.latency_dropped
-        slot = self._reservoir_rng.randrange(seen)
+        slot = side.latency_rng.randrange(seen)
         if slot < MAX_LATENCY_SAMPLES:
             samples[slot] = latency_ns
 
     def record_rx_skb(self, host: str, payload_bytes: int) -> None:
-        self._sides[host].rx_skb_sizes[payload_bytes] += 1
+        self.side(host).rx_skb_sizes[payload_bytes] += 1
 
     # --- queries ----------------------------------------------------------------------
 
@@ -178,5 +214,5 @@ class MetricsHub:
         return self._per_flow_bytes.get((host, flow_id), 0)
 
     def latency_stats(self, host: str) -> LatencyStats:
-        side = self._sides[host]
+        side = self.side(host)
         return LatencyStats.from_samples(side.latency_samples, side.latency_dropped)

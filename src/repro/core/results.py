@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from .audit import AuditReport
 from .metrics import LatencyStats
 from .taxonomy import Category
+from ..trace import TraceReport
 
 
 @dataclass
@@ -61,6 +62,10 @@ class ExperimentResult:
     #: Conservation-audit outcome; only populated when the experiment ran
     #: with auditing enabled (``Experiment(config, audit=True)`` / ``--audit``).
     audit_report: Optional[AuditReport] = None
+
+    #: Per-stage latency breakdown; only populated when the experiment ran
+    #: with tracing enabled (``config.trace`` / ``repro trace <panel>``).
+    trace: Optional[TraceReport] = None
 
     # --- derived metrics (paper's headline quantities) ---------------------------
 

@@ -47,10 +47,15 @@ _AUDIT: bool = False
 #: replay (``repro ... --no-train``). Results are byte-identical either way;
 #: the flag exists as an escape hatch and for the bench cross-check.
 _FRAME_TRAINS: bool = True
+#: Run every experiment with per-stage latency tracing (``repro trace``).
+#: Part of the config (and hence the cache key), unlike ``_FRAME_TRAINS``.
+_TRACE: bool = False
 #: Counters accumulated across every figure run since the last reset.
 STATS = RunnerStats()
 #: Audit reports collected from audited figure runs since the last configure.
 AUDIT_REPORTS: List = []
+#: Trace reports collected from traced figure runs since the last configure.
+TRACE_REPORTS: List = []
 
 
 def configure(
@@ -58,14 +63,17 @@ def configure(
     cache: Optional[ResultCache] = None,
     audit: bool = False,
     frame_trains: bool = True,
+    trace: bool = False,
 ) -> None:
     """Set the runner used by every subsequent figure generation."""
-    global _JOBS, _CACHE, _AUDIT, _FRAME_TRAINS
+    global _JOBS, _CACHE, _AUDIT, _FRAME_TRAINS, _TRACE
     _JOBS = jobs
     _CACHE = cache
     _AUDIT = audit
     _FRAME_TRAINS = frame_trains
+    _TRACE = trace
     AUDIT_REPORTS.clear()
+    TRACE_REPORTS.clear()
 
 
 def runtime() -> tuple:
@@ -81,7 +89,8 @@ def prepare(
     if warmup_ns is None:
         warmup_ns = WARMUP_NS[config.pattern]
     return config.replace(
-        duration_ns=DURATION_NS, warmup_ns=warmup_ns, frame_trains=_FRAME_TRAINS
+        duration_ns=DURATION_NS, warmup_ns=warmup_ns,
+        frame_trains=_FRAME_TRAINS, trace=_TRACE,
     )
 
 
@@ -99,6 +108,10 @@ def run_all(
         AUDIT_REPORTS.extend(
             result.audit_report for result in results
             if result.audit_report is not None
+        )
+    if _TRACE:
+        TRACE_REPORTS.extend(
+            result.trace for result in results if result.trace is not None
         )
     return results
 

@@ -172,8 +172,12 @@ class Core:
         elif self._rx_settle is not None:
             # Virtual start whose finish lands at this very instant (the
             # frame-train wake stands in for the finish event): the pipeline
-            # runs it once every earlier delivery has been replayed.
-            self._rx_settle._pending_finishes.append((finish_t, self, job))
+            # runs it once every earlier delivery has been replayed. ``start``
+            # rides along as the insertion stamp the legacy finish event
+            # would have carried (finish events are scheduled when their job
+            # starts) — the settle loop presents it as ``current_inserted_at``
+            # so same-instant ordering decisions match the per-event path.
+            self._rx_settle._pending_finishes.append((finish_t, self, job, start))
         else:  # pragma: no cover - virtual starts only exist with a pipeline
             self._finish(job)
 

@@ -27,6 +27,7 @@ class Frame:
         "wire_bytes",
         "ack",
         "ecn_marked",
+        "trace_ns",
     )
 
     KIND_DATA = "data"
@@ -48,6 +49,10 @@ class Frame:
         self.wire_bytes = wire_bytes
         self.ack = ack
         self.ecn_marked = False
+        # Tracing stamp slot, reused along the path: NIC doorbell time while
+        # queued for serialization, wire-exit time while in flight. None on
+        # untraced runs and on ACK frames.
+        self.trace_ns = None
 
     @property
     def is_data(self) -> bool:
@@ -87,6 +92,9 @@ class Link:
         self.switch_delay_ns = switch_delay_ns
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._free_at = 0
+        # SideTrace of the *transmitting* host (None unless tracing): the
+        # tx_wire stage (doorbell -> last bit out) is charged to the sender.
+        self.trace = None
         # statistics — together they satisfy the wire-conservation identity
         # ``sent == dropped + in_flight + delivered`` (frames and bytes),
         # checked by the conservation auditor.
@@ -129,6 +137,11 @@ class Link:
         bandwidth = self.bandwidth_bps
         drop = self.has_switch and self.loss_rate > 0
         mark = self.has_switch and self.ecn_threshold_bytes > 0
+        # Tracing stamps use the running per-frame finish time ``t``, never
+        # ``engine.now``: the train pipeline replays deferred drains here
+        # after the instant they model, and ``t`` is the virtual truth.
+        trace = self.trace
+        wire_record = trace.stage("tx_wire").record if trace is not None else None
         nsent = 0
         bytes_sent = 0
         delivered_bytes = 0
@@ -147,6 +160,9 @@ class Link:
                 if queued_bytes > self.ecn_threshold_bytes:
                     frame.ecn_marked = True
                     self.frames_marked += 1
+            if wire_record is not None and frame.trace_ns is not None:
+                wire_record(t - frame.trace_ns)
+                frame.trace_ns = t  # stamp wire exit for the Rx-side stage
             append(frame)
             delivered_bytes += wire_bytes
         self.frames_sent += nsent

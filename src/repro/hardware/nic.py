@@ -112,6 +112,8 @@ class Nic:
         #: (maintained by NapiContext). The train wake policy's saturated-
         #: path early-out: zero idle contexts means no wake can be needed.
         self.idle_napis = 0
+        # SideTrace of this NIC's host (None unless tracing), wired by Host.
+        self.trace = None
         self._region_counter = 0
         # statistics
         self.rx_frames = 0
@@ -168,6 +170,15 @@ class Nic:
         """
         if self.tx_link is None:
             raise RuntimeError("NIC has no Tx link attached")
+        if self.trace is not None:
+            # Doorbell stamp. ``transmit`` always runs inside the driver
+            # job's completion (or a retransmit event), where ``engine.now``
+            # matches the legacy event time in both wire modes.
+            doorbell = self.engine.now
+            kind_data = Frame.KIND_DATA
+            for frame in frames:
+                if frame.kind == kind_data:
+                    frame.trace_ns = doorbell
         if self.tx_pipeline is not None:
             self.tx_pipeline.on_transmit(frames)
             return
@@ -287,6 +298,10 @@ class Nic:
         queue_for = self.steering.queue_for
         lro = self.lro
         dca = self.dca
+        trace = self.trace
+        # ``now`` is the arrival virtual time handed in by the caller (the
+        # train pipeline replays ingests late), never ``engine.now``.
+        rx_wire_record = trace.stage("wire").record if trace is not None else None
         region_counter = self._region_counter
         rx_frames = 0
         rx_bytes = 0
@@ -304,6 +319,9 @@ class Nic:
             rx_frames += 1
             rx_bytes += frame.wire_bytes
             is_data = frame.kind == kind_data
+            if rx_wire_record is not None and frame.trace_ns is not None:
+                rx_wire_record(now - frame.trace_ns)
+                frame.trace_ns = None
 
             if lro and is_data and self._try_lro_merge(queue, frame):
                 touched[queue.queue_id] = queue

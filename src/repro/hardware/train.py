@@ -205,15 +205,30 @@ class TrainPipeline:
             while True:
                 if pending:
                     # A virtually-started job's finish is due: it precedes any
-                    # delivery at or after its instant (the legacy finish event
-                    # was inserted when the job started, before those
-                    # arrivals were scheduled).
+                    # strictly later delivery, and a same-instant delivery iff
+                    # the legacy event order ran it first — the finish event
+                    # was inserted at the job's start, the delivery event at
+                    # its drain, and same-timestamp events fire in insertion
+                    # order (ties lean finish-first, as before trains).
                     best = min(range(len(pending)), key=lambda i: pending[i][0])
-                    finish_vt, core, job = pending[best]
+                    finish_vt, core, job, start_vt = pending[best]
                     head = inflight[0] if inflight else None
-                    if head is None or finish_vt <= head.arrival_ns:
+                    if head is None or finish_vt < head.arrival_ns or (
+                        finish_vt == head.arrival_ns
+                        and start_vt <= head.drain_vt
+                    ):
                         del pending[best]
-                        core._finish(job)
+                        # Present the insertion stamp the legacy finish event
+                        # would have had (the job's start instant), not the
+                        # wake's: settle hooks inside the finish chain decide
+                        # same-instant arrival order against it.
+                        engine = self.engine
+                        prev_ins = engine.current_inserted_at
+                        engine.current_inserted_at = start_vt
+                        try:
+                            core._finish(job)
+                        finally:
+                            engine.current_inserted_at = prev_ins
                         continue
                 head = inflight[0] if inflight else None
                 due = self.drain_due

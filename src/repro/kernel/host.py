@@ -47,6 +47,7 @@ class Host:
         profiler: CpuProfiler,
         metrics: "MetricsHub",
         rngs: "RngStreams",
+        trace=None,
     ) -> None:
         self.engine = engine
         self.name = name
@@ -54,6 +55,9 @@ class Host:
         self.costs = costs
         self.profiler = profiler
         self.metrics = metrics
+        # Per-host trace sink (None unless config.trace): every data-path
+        # hook gates on one ``is not None`` check against this reference.
+        self.trace = trace.side(name) if trace is not None else None
 
         host_cfg = config.host
         self.topology = Topology(
@@ -100,6 +104,7 @@ class Host:
             steering=self.steering,
             dca=self.cache.dca,  # carries its own enabled flag
         )
+        self.nic.trace = self.trace
         # One Rx queue per core, IRQ-affined to that core.
         self.napis: List[NapiContext] = []
         for core in self.topology.cores:

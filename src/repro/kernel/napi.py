@@ -165,6 +165,10 @@ class NapiContext:
         extend = items.extend
         kind_data = Frame.KIND_DATA
         kind_ack = Frame.KIND_ACK
+        trace = host.trace
+        # One rx_ring sample per data completion: DMA arrival (the record's
+        # stamped virtual arrival time, train-correct) to this poll instant.
+        ring_record = trace.stage("rx_ring").record if trace is not None else None
         for record in batch:
             frame = record.frame
             endpoint = endpoints.get(frame.flow_id)
@@ -172,6 +176,8 @@ class NapiContext:
                 continue  # stray frame for a torn-down flow
             kind = frame.kind
             if kind == kind_data:
+                if ring_record is not None:
+                    ring_record(now - record.arrival_ns)
                 gro_items, completed = gro_receive(record, frame_to_skb)
                 extend(gro_items)
                 for done_skb in completed:

@@ -25,6 +25,7 @@ class Skb:
         "napi_ns",
         "is_retransmit",
         "ecn",
+        "trace_ns",
     )
 
     def __init__(
@@ -50,6 +51,9 @@ class Skb:
         self.napi_ns = napi_ns
         self.is_retransmit = is_retransmit
         self.ecn = False
+        # Socket-enqueue stamp for tracing; only assigned (and only read)
+        # when tracing is on, so the __new__ fast path may leave it unset.
+        self.trace_ns = None
 
     @property
     def end_seq(self) -> int:

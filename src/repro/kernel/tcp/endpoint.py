@@ -98,6 +98,12 @@ class TcpEndpoint:
         cfg = host.config
         self.opts = cfg.opts
         self.tcp_cfg = cfg.tcp
+        self.trace = host.trace
+        #: FIFO of ``[bytes, write_stamp]`` entries feeding the tx_queue
+        #: stage; ``None`` unless tracing (zero overhead when off).
+        self._tx_stamps: Optional[Deque] = (
+            deque() if self.trace is not None else None
+        )
 
         self.mss = self.opts.mtu - 40  # IP + TCP headers live inside the MTU
         self.gso_size = MAX_GSO_SIZE if self.opts.tso_gro else self.mss
@@ -230,6 +236,10 @@ class TcpEndpoint:
         state["remaining"] -= chunk
         self.unsent_bytes += chunk
         self.app_bytes_written += chunk
+        if self._tx_stamps is not None:
+            # Stamp at submission: TCP state (and hence transmit eligibility)
+            # mutates now; the copy job's cycles are charged separately.
+            self._tx_stamps.append([chunk, self.engine.now])
 
         def done() -> None:
             self.try_push(self.app_core, thread, PRIORITY_APP)
@@ -280,6 +290,27 @@ class TcpEndpoint:
             frames.extend(self._build_data_frames(seq, size, nframes))
         self.unsent_bytes -= emitted
 
+        trace = self.trace
+        xmit_record = None
+        submit_now = 0
+        if trace is not None:
+            # tx_queue closes here: one sample per sendmsg chunk, from its
+            # write stamp to this transmit decision. Chunks may span bursts;
+            # the head entry is decremented in place until exhausted.
+            submit_now = self.engine.now
+            queue_record = trace.stage("tx_queue").record
+            stamps = self._tx_stamps
+            remaining = emitted
+            while remaining > 0 and stamps:
+                head = stamps[0]
+                take = head[0] if head[0] <= remaining else remaining
+                head[0] -= take
+                remaining -= take
+                if head[0] == 0:
+                    stamps.popleft()
+                    queue_record(submit_now - head[1])
+            xmit_record = trace.stage("tx_xmit").record
+
         items.extend(tables.tx_tail(nskbs))
         pages = (emitted + PAGE_BYTES - 1) // PAGE_BYTES
         items.extend(self.host.iommu.map_charges(pages))
@@ -292,6 +323,10 @@ class TcpEndpoint:
 
         def done() -> None:
             self._tx_active = False
+            if xmit_record is not None:
+                # Job completions fire at the legacy event time in both wire
+                # modes, so engine.now is the NIC-doorbell instant.
+                xmit_record(self.engine.now - submit_now)
             self.host.nic.transmit(frames)
             self._arm_rto()
             self.try_push(core, context, priority)
@@ -720,6 +755,10 @@ class TcpEndpoint:
     def _deliver_to_socket(self, skb: Skb, softirq_core: "Core") -> None:
         """Deferred: make payload visible to the application and wake it."""
         self.rx_limbo_bytes -= skb.payload_bytes
+        if self.trace is not None:
+            # Socket-enqueue stamp (read back at drain in do_recv). Runs in
+            # a job completion, so engine.now is exact in both wire modes.
+            skb.trace_ns = self.engine.now
         self.socket.enqueue(skb)
         waiter = self.socket.waiter
         if waiter is not None and self.socket.available() >= waiter.min_bytes:
@@ -821,6 +860,12 @@ class TcpEndpoint:
         remote_bytes = 0  # payload living on a different NUMA node than the app
         freed_pages: dict = {}
         app_node = self.app_core.numa_node
+        trace = self.trace
+        if trace is not None:
+            stages = trace.stages
+            softirq_record = stages["rx_softirq"].record
+            sockq_record = stages["rx_sockq"].record
+            e2e_record = stages["e2e"].record
         for skb, chunk, fully in portions:
             h, m = self._consume_regions(skb, chunk)
             hit_bytes += h
@@ -829,6 +874,14 @@ class TcpEndpoint:
                 remote_bytes += chunk
             if skb.napi_ns is not None:
                 self.host.metrics.record_copy_latency(self.host.name, now - skb.napi_ns)
+                if trace is not None:
+                    # All three receive stages are recorded at drain time so
+                    # their counts stay equal and the totals telescope exactly
+                    # (e2e = rx_softirq + rx_sockq) — the auditor's identity —
+                    # even across the warmup reset.
+                    softirq_record(skb.trace_ns - skb.napi_ns)
+                    sockq_record(now - skb.trace_ns)
+                    e2e_record(now - skb.napi_ns)
                 skb.napi_ns = None  # count each skb's latency once
             if fully:
                 items.extend(tables.skb_free_pair)
@@ -864,6 +917,9 @@ class TcpEndpoint:
         self._delivered_since_autotune += taken
 
         def done() -> None:
+            if trace is not None:
+                # Copy start -> data visible (the recv job's charged cycles).
+                trace.stage("rx_copy").record(self.engine.now - now)
             self.host.metrics.record_delivered(self.host.name, self.flow_id, taken)
             if update_frames:
                 self.host.nic.transmit(update_frames)

@@ -1,0 +1,68 @@
+"""Tracing is observably free, and trace results are wire-mode invariant.
+
+Two promises back the ``repro trace`` front door (DESIGN.md §12):
+
+* **Zero perturbation** — turning ``ExperimentConfig.trace`` on must not
+  change a single exported number. The hooks only *read* virtual time; if a
+  traced run differed anywhere outside its ``trace`` payload, the hooks would
+  be leaking into the simulation.
+* **Wire-mode invariance** — the per-stage histograms themselves must be
+  byte-identical with and without the frame-train fast path. The train
+  pipeline replays per-frame effects lazily at the original virtual times, so
+  stamps taken inside ``serialize_at`` / ``_rx_ingest`` (which use passed-in
+  virtual times, never ``engine.now``) land on the same nanoseconds either
+  way.
+
+Both are checked on random configs across the dimensions that stress the
+stamping rules: loss (dropped frames must not record wire stages), LRO
+(ring completions merge), RPC interleave (both directions tracing), DCTCP.
+The telescoping identity and the auditor's cross-checks must hold in every
+mode.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.experiment import Experiment
+from repro.core.export import result_to_dict
+
+from .test_train_equivalence import train_configs
+
+
+def _run(config, trace, frame_trains):
+    experiment = Experiment(
+        config.replace(trace=trace, frame_trains=frame_trains), audit=True
+    )
+    result = experiment.run()
+    return result, result_to_dict(result)
+
+
+@settings(max_examples=8, deadline=None)
+@given(config=train_configs())
+def test_tracing_perturbs_nothing_and_is_train_invariant(config):
+    _, untraced = _run(config, trace=False, frame_trains=True)
+    traced_result, traced = _run(config, trace=True, frame_trains=True)
+    _, traced_legacy = _run(config, trace=True, frame_trains=False)
+
+    # Wire-mode invariance: the full traced payload — simulation results AND
+    # per-stage histograms — is identical with and without frame trains.
+    audit_train = traced.pop("audit")
+    audit_legacy = traced_legacy.pop("audit")
+    assert traced == traced_legacy
+
+    # Zero perturbation: strip the trace payload and the traced run must
+    # equal the untraced run exactly, key for key.
+    untraced.pop("audit")
+    trace_payload = traced.pop("trace")
+    assert traced == untraced
+
+    # The telescoping identity survives export and both wire modes, and the
+    # auditor (which also cross-checks e2e against the copy-latency metric)
+    # passed in both traced runs.
+    checks, violations = traced_result.trace.check_identity()
+    assert checks > 0 and violations == []
+    from repro.trace import TraceReport
+
+    round_tripped = TraceReport.from_dict(trace_payload)
+    assert round_tripped.check_identity()[1] == []
+    assert audit_train["ok"], audit_train
+    assert audit_legacy["ok"], audit_legacy

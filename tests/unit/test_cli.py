@@ -121,6 +121,26 @@ def test_audit_subcommand_unknown_panel(capsys):
     assert main(["audit", "nope"]) == 2
 
 
+def test_trace_subcommand_renders_stage_table(capsys, monkeypatch):
+    _shorten_figure_windows(monkeypatch)
+    assert main(["trace", "fig3a"]) == 0
+    captured = capsys.readouterr()
+    assert "per-stage latency" in captured.out
+    assert "rx_copy" in captured.out and "e2e" in captured.out
+    assert "trace identity ok" in captured.err
+
+
+def test_trace_subcommand_export(capsys, monkeypatch, tmp_path):
+    _shorten_figure_windows(monkeypatch)
+    path = tmp_path / "trace.csv"
+    assert main(["trace", "fig3a", "--export", str(path)]) == 0
+    assert "rx_softirq" in path.read_text()
+
+
+def test_trace_subcommand_unknown_panel(capsys):
+    assert main(["trace", "nope"]) == 2
+
+
 def test_figure_audit_exits_nonzero_on_violation(capsys, monkeypatch):
     """A violating report must turn into a non-zero exit for CI."""
     from repro.cli import _audit_exit_code

@@ -42,7 +42,8 @@ def rich_result():
     """A result exercising every field the round-trip must preserve."""
     result = make_result(total=33.0, skb_sizes={1500: 3, 9000: 7, 65536: 2})
     result.copy_latency = LatencyStats(
-        count=12, avg_ns=810.5, p50_ns=700.0, p99_ns=2100.0, max_ns=2500.0
+        count=12, avg_ns=810.5, p50_ns=700.0, p99_ns=2100.0, max_ns=2500.0,
+        dropped_samples=3, retained=9,
     )
     result.retransmits = 4
     result.timeouts = 1
@@ -79,6 +80,46 @@ def test_result_from_json_inverts_result_to_json():
     result = rich_result()
     assert result_to_dict(result_from_json(result_to_json(result))) == \
         result_to_dict(result)
+
+
+def test_latency_retained_round_trips():
+    payload = result_to_dict(rich_result())
+    assert payload["copy_latency_ns"]["count"] == 12
+    assert payload["copy_latency_ns"]["retained"] == 9
+    assert payload["copy_latency_ns"]["dropped"] == 3
+    rebuilt = result_from_dict(payload)
+    assert rebuilt.copy_latency.retained == 9
+    assert rebuilt.copy_latency.count == 12
+
+
+def test_pre_v3_payload_defaults_retained_to_count():
+    """Cache payloads written before schema v3 have no ``retained`` key; back
+    then ``count`` meant the retained sample count, so it doubles as the
+    fallback."""
+    payload = result_to_dict(rich_result())
+    del payload["copy_latency_ns"]["retained"]
+    assert result_from_dict(payload).copy_latency.retained == 12
+
+
+def test_trace_report_round_trips_through_export():
+    from repro.trace import TraceHub
+
+    hub = TraceHub()
+    hub.side("receiver").stage("e2e").record(1500)
+    hub.side("sender").stage("tx_queue").record(40)
+    result = rich_result()
+    result.trace = hub.report()
+
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    rebuilt = result_from_dict(payload)
+    assert rebuilt.trace == result.trace
+    assert result_to_dict(rebuilt) == payload
+
+
+def test_untraced_result_exports_without_trace_key():
+    payload = result_to_dict(rich_result())
+    assert "trace" not in payload
+    assert result_from_dict(payload).trace is None
 
 
 def make_table():

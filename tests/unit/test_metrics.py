@@ -120,7 +120,8 @@ def test_latency_past_cap_uses_reservoir_not_truncation(monkeypatch):
     for value in range(1000, 1090):
         hub.record_copy_latency("receiver", value)
     stats = hub.latency_stats("receiver")
-    assert stats.count == 10  # storage stays at the cap
+    assert stats.count == 100  # every observation counted...
+    assert stats.retained == 10  # ...with storage staying at the cap
     assert stats.dropped_samples == 90
     assert stats.max_ns >= 1000  # late samples displaced early ones
 
@@ -142,3 +143,53 @@ def test_latency_reservoir_is_deterministic(monkeypatch):
     first = list(fill(hub))
     hub.reset()
     assert fill(hub) == first
+
+
+def test_reservoir_invariant_to_cross_host_interleaving(monkeypatch):
+    """Regression: a hub-wide reservoir RNG made each host's retained sample
+    set depend on how the *other* host's recordings interleaved with its own.
+    With per-host RNG streams, any interleaving of the same two per-host
+    sequences retains identical samples."""
+    import repro.core.metrics as metrics_mod
+
+    monkeypatch.setattr(metrics_mod, "MAX_LATENCY_SAMPLES", 8)
+    receiver_seq = list(range(100))
+    sender_seq = list(range(1000, 1100))
+
+    def retained(interleave):
+        hub = MetricsHub()
+        for host, value in interleave:
+            hub.record_copy_latency(host, value)
+        return (
+            list(hub.side("receiver").latency_samples),
+            list(hub.side("sender").latency_samples),
+        )
+
+    sequential = retained(
+        [("receiver", v) for v in receiver_seq]
+        + [("sender", v) for v in sender_seq]
+    )
+    alternating = retained(
+        [pair for r, s in zip(receiver_seq, sender_seq)
+         for pair in (("receiver", r), ("sender", s))]
+    )
+    assert sequential == alternating
+
+
+def test_latency_count_is_retained_plus_dropped(monkeypatch):
+    import repro.core.metrics as metrics_mod
+
+    monkeypatch.setattr(metrics_mod, "MAX_LATENCY_SAMPLES", 16)
+    hub = MetricsHub()
+    total = 0
+    for value in range(50):
+        hub.record_copy_latency("receiver", value)
+        total += value
+    stats = hub.latency_stats("receiver")
+    assert stats.count == stats.retained + stats.dropped_samples == 50
+    assert hub.side("receiver").latency_total_ns == total
+
+
+def test_empty_samples_with_drops_is_rejected():
+    with pytest.raises(ValueError):
+        LatencyStats.from_samples([], dropped_samples=5)

@@ -75,6 +75,29 @@ def test_incast_mode_identical_results():
     assert result_to_dict(train.run()) == result_to_dict(legacy.run())
 
 
+def test_standin_finish_orders_same_instant_arrival_like_legacy():
+    """Regression: a wake standing in for an IRQ job's finish event used the
+    wake's own insertion stamp for same-instant ordering, so an arrival whose
+    legacy delivery event was inserted between the wake's arming and the IRQ
+    submission (drain after rearm, before the raise) was replayed *after* the
+    poll that legacy ran it before — the poll took a thinner batch and every
+    later receive-side timestamp drifted. This exact config (lossy switch +
+    DCTCP incast) hits that interleaving."""
+    from repro.config import (CongestionControl, LinkConfig,
+                              OptimizationConfig, TcpConfig)
+
+    kwargs = dict(
+        pattern=TrafficPattern.INCAST, num_flows=3, seed=1,
+        opts=OptimizationConfig(tso_gro=False, jumbo=False, arfs=False,
+                                lro=False),
+        tcp=TcpConfig(congestion_control=CongestionControl.DCTCP),
+        link=LinkConfig(loss_rate=0.001, has_switch=True),
+    )
+    train = _experiment(True, **kwargs)
+    legacy = _experiment(False, **kwargs)
+    assert result_to_dict(train.run()) == result_to_dict(legacy.run())
+
+
 # --- train/pipeline mechanics -------------------------------------------------
 
 

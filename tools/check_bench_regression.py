@@ -12,7 +12,9 @@ Two gates against ``benchmarks/baseline_engine.json``:
   calibration throughput, a machine-independent work unit) for both modes,
   with tolerance headroom, and the fractional reduction in engine events
   fired with trains on — enforced exactly (it is a structural property of
-  the simulation, not a timing).
+  the simulation, not a timing). Each panel is also re-run with per-stage
+  latency tracing on; the traced/untraced wall-time ratio must stay under
+  ``MAX_TRACE_OVERHEAD``.
 
 Usage::
 
@@ -40,8 +42,17 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "base
 #: plain ``--update`` can never quietly weaken it.
 MIN_EVENTS_REDUCTION = 0.30
 
+#: Allowed fractional wall-time increase of a traced run over the same
+#: panel with tracing off. The tracing-off cost itself is gated by the
+#: baseline's ``max_normalized_cost`` ceiling (tracing off is the default
+#: everywhere, including the golden-digest gate); this ratio — measured on
+#: the same machine in the same process, so it needs no baseline entry —
+#: bounds what turning tracing ON may cost. Kept in the tool so
+#: ``--update`` can never weaken it.
+MAX_TRACE_OVERHEAD = 0.50
 
-def _time_figure(name: str, frame_trains: bool, repeat: int):
+
+def _time_figure(name: str, frame_trains: bool, repeat: int, trace: bool = False):
     """Best-of-N cold wall time and engine events fired for one panel."""
     from repro.cli import _run_panel
     from repro.figures import base as figures_base
@@ -50,7 +61,8 @@ def _time_figure(name: str, frame_trains: bool, repeat: int):
     for _ in range(repeat):
         figures_base.STATS.reset()
         start = time.perf_counter()
-        _run_panel(name, jobs=1, cache=None, audit=False, frame_trains=frame_trains)
+        _run_panel(name, jobs=1, cache=None, audit=False,
+                   frame_trains=frame_trains, trace=trace)
         best = min(best, time.perf_counter() - start)
     return best, figures_base.STATS.events_fired
 
@@ -58,9 +70,10 @@ def _time_figure(name: str, frame_trains: bool, repeat: int):
 def _figure_metrics(names, repeat: int, calibration_ops: float):
     rows = {}
     for name in names:
-        print(f"figure gate: timing {name} (train / --no-train)...")
+        print(f"figure gate: timing {name} (train / --no-train / traced)...")
         wall, events = _time_figure(name, True, repeat)
         wall_legacy, events_legacy = _time_figure(name, False, repeat)
+        wall_traced, _ = _time_figure(name, True, repeat, trace=True)
         rows[name] = {
             "normalized_cost": wall * calibration_ops,
             "normalized_cost_no_train": wall_legacy * calibration_ops,
@@ -69,11 +82,14 @@ def _figure_metrics(names, repeat: int, calibration_ops: float):
             "events_reduction": (
                 1.0 - events / events_legacy if events_legacy else 0.0
             ),
+            "trace_overhead": wall_traced / wall - 1.0 if wall else 0.0,
         }
         print(
             f"  {name}: {wall:.3f}s / {wall_legacy:.3f}s wall, "
             f"{events:,} / {events_legacy:,} events "
-            f"({rows[name]['events_reduction']:.1%} fewer with trains)"
+            f"({rows[name]['events_reduction']:.1%} fewer with trains); "
+            f"traced {wall_traced:.3f}s "
+            f"({rows[name]['trace_overhead']:+.1%} vs tracing off)"
         )
     return rows
 
@@ -144,6 +160,12 @@ def main() -> int:
         if not names or name in names
     }
     failures += bench.compare_figures_to_baseline(figure_rows, gated, args.tolerance)
+    for name, row in figure_rows.items():
+        if row["trace_overhead"] > MAX_TRACE_OVERHEAD:
+            failures.append(
+                f"{name}: tracing costs {row['trace_overhead']:.1%} over the "
+                f"tracing-off run (ceiling {MAX_TRACE_OVERHEAD:.0%})"
+            )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
