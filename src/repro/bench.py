@@ -144,12 +144,26 @@ def snapshot(
     }
 
 
-def write_snapshot(doc: Dict, path: Optional[str] = None) -> str:
-    """Write ``doc`` to ``path`` (default ``BENCH_<stamp>.json`` in cwd)."""
+#: Cumulative one-snapshot-per-line log kept alongside the BENCH_*.json
+#: snapshots. Committing it gives the repo a machine-readable perf
+#: trajectory without having to glob and parse every historical snapshot.
+HISTORY_FILENAME = "BENCH_HISTORY.jsonl"
+
+
+def write_snapshot(
+    doc: Dict, path: Optional[str] = None, history_path: Optional[str] = None
+) -> str:
+    """Write ``doc`` to ``path`` (default ``BENCH_<stamp>.json`` in cwd) and
+    append it as a single JSON line to the cumulative history log."""
     if path is None:
         path = f"BENCH_{doc['stamp']}.json"
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if history_path is None:
+        history_path = HISTORY_FILENAME
+    with open(history_path, "a") as fh:
+        json.dump(doc, fh, sort_keys=True)
         fh.write("\n")
     return path
 
@@ -189,11 +203,13 @@ def compare_figures_to_baseline(
     """Return regression messages for the per-figure gate.
 
     ``figures`` maps panel name to measured ``normalized_cost`` (wall time ×
-    calibration throughput — machine-independent work units) for the train
-    path, ``normalized_cost_no_train`` for the legacy path, and
-    ``events_reduction`` (fractional drop in engine events fired with trains
-    on). Cost ceilings get ``tolerance`` headroom; the event-count reduction
-    is a structural property of the simulation and is enforced exactly.
+    calibration throughput — machine-independent work units) for the
+    train+express fast path, ``normalized_cost_no_express`` for trains
+    without the express lane, ``normalized_cost_legacy`` for the per-event
+    pipeline, and ``events_reduction`` (fractional drop in engine events
+    fired, fast path vs legacy). Cost ceilings get ``tolerance`` headroom;
+    the event-count reduction is a structural property of the simulation
+    and is enforced exactly.
     """
     failures = []
     for name, floor in baseline_figures.items():
@@ -207,7 +223,11 @@ def compare_figures_to_baseline(
                 f"{name}: events_reduction {row['events_reduction']:.1%} is "
                 f"below the required {min_reduction:.0%}"
             )
-        for key in ("normalized_cost", "normalized_cost_no_train"):
+        for key in (
+            "normalized_cost",
+            "normalized_cost_no_express",
+            "normalized_cost_legacy",
+        ):
             ceiling = floor.get(f"max_{key}")
             if not ceiling:
                 continue

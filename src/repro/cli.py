@@ -71,6 +71,10 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="disable the frame-train wire fast path and "
                         "replay the wire with per-batch engine events "
                         "(byte-identical results, more events)")
+    parser.add_argument("--no-express", action="store_true",
+                        help="disable the steady-state express lane and "
+                        "schedule CPU completions / TCP timers as plain "
+                        "wheel events (byte-identical results, more events)")
 
 
 def _runner_settings(args: argparse.Namespace):
@@ -147,12 +151,15 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--no-train", action="store_true",
                        help="audit the legacy per-event wire path instead of "
                        "the frame-train fast path")
+    audit.add_argument("--no-express", action="store_true",
+                       help="audit with the steady-state express lane off")
 
     bench = sub.add_parser(
         "bench",
-        help="record a BENCH_<stamp>.json perf snapshot: engine "
-        "micro-benchmarks plus per-figure wall times and event counts "
-        "(each figure timed with and without the frame-train fast path)",
+        help="record a BENCH_<stamp>.json perf snapshot (also appended to "
+        "BENCH_HISTORY.jsonl): engine micro-benchmarks plus per-figure wall "
+        "times and event counts, each figure timed on the fast path "
+        "(frame trains + express lane) and on the legacy per-event path",
     )
     bench.add_argument("--figures", default="fig3a,fig9a", metavar="NAMES",
                        help="comma-separated panel names to time "
@@ -201,6 +208,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             rpc_size_bytes=kb(args.rpc_kb), num_rpc_flows=args.rpc_flows
         ),
         frame_trains=not args.no_train,
+        express=not args.no_express,
     )
 
 
@@ -244,7 +252,7 @@ def _audit_exit_code(report) -> int:
 
 
 def _run_panel(name: str, jobs, cache, audit: bool, frame_trains: bool = True,
-               trace: bool = False):
+               trace: bool = False, express: bool = True):
     """Run one figure panel under the given runner settings.
 
     Returns ``(table, merged_audit_report)``; the report is ``None`` when
@@ -258,7 +266,7 @@ def _run_panel(name: str, jobs, cache, audit: bool, frame_trains: bool = True,
     generator = _panel_registry()[name]
     figures_base.configure(
         jobs=jobs, cache=cache, audit=audit, frame_trains=frame_trains,
-        trace=trace,
+        trace=trace, express=express,
     )
     figures_base.STATS.reset()
     try:
@@ -278,7 +286,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
     jobs, cache, audit = _runner_settings(args)
     try:
         table, report = _run_panel(
-            args.name, jobs, cache, audit, frame_trains=not args.no_train
+            args.name, jobs, cache, audit, frame_trains=not args.no_train,
+            express=not args.no_express,
         )
     except KeyError:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
@@ -306,6 +315,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         table, report, trace_report = _run_panel(
             args.name, jobs, cache, audit,
             frame_trains=not args.no_train, trace=True,
+            express=not args.no_express,
         )
     except KeyError:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
@@ -345,7 +355,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
     jobs = None if args.jobs == 0 else args.jobs
     try:
         _, report = _run_panel(
-            args.name, jobs, None, True, frame_trains=not args.no_train
+            args.name, jobs, None, True, frame_trains=not args.no_train,
+            express=not args.no_express,
         )
     except KeyError:
         print(f"unknown panel {args.name!r}; try `python -m repro list`",
@@ -376,18 +387,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print("engine micro-benchmarks...", file=sys.stderr)
     engine = bench.engine_metrics(repeat=args.repeat)
 
-    def _time_panel(name: str, frame_trains: bool) -> dict:
+    def _time_panel(name: str, frame_trains: bool, express: bool) -> dict:
         """Best-of-N wall time plus engine event counts for one panel.
 
         The workload is deterministic, so the event counters are identical
-        across repeats; the last repeat's counts serve for all.
+        across repeats; the last repeat's counts serve for all. Bench
+        always simulates cold (no result cache), so cache counters are
+        meaningless here and deliberately not recorded.
         """
         best_wall = float("inf")
         for _ in range(args.repeat):
             figures_base.STATS.reset()
             start = time.perf_counter()
             _run_panel(name, jobs=1, cache=None, audit=False,
-                       frame_trains=frame_trains)
+                       frame_trains=frame_trains, express=express)
             wall = time.perf_counter() - start
             if wall < best_wall:
                 best_wall = wall
@@ -395,19 +408,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return {
             "wall_seconds": best_wall,
             "experiments_run": stats.experiments_run,
-            "cache_hits": stats.cache_hits,
-            "cache_misses": stats.cache_misses,
             "events_fired": stats.events_fired,
             "events_cancelled": stats.events_cancelled,
+            "express_fired": stats.express_fired,
         }
 
     figures = {}
     for name in names:
         print(f"timing {name}...", file=sys.stderr)
-        row = _time_panel(name, frame_trains=True)
-        print(f"timing {name} (--no-train)...", file=sys.stderr)
-        legacy = _time_panel(name, frame_trains=False)
-        row["no_train"] = {
+        row = _time_panel(name, frame_trains=True, express=True)
+        print(f"timing {name} (--no-train --no-express legacy)...",
+              file=sys.stderr)
+        legacy = _time_panel(name, frame_trains=False, express=False)
+        row["legacy"] = {
             "wall_seconds": legacy["wall_seconds"],
             "events_fired": legacy["events_fired"],
             "events_cancelled": legacy["events_cancelled"],
@@ -430,11 +443,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for name, row in figures.items():
         line = (f"{name}: {row['wall_seconds']:.3f}s wall, "
                 f"{row['experiments_run']} experiments, "
-                f"{row['events_fired']:,} events")
+                f"{row['events_fired']:,} events "
+                f"(+{row['express_fired']:,} express)")
         if "events_reduction" in row:
-            line += (f" ({row['events_reduction']:.0%} fewer than --no-train's "
-                     f"{row['no_train']['events_fired']:,} in "
-                     f"{row['no_train']['wall_seconds']:.3f}s)")
+            line += (f" ({row['events_reduction']:.0%} fewer than legacy's "
+                     f"{row['legacy']['events_fired']:,} in "
+                     f"{row['legacy']['wall_seconds']:.3f}s)")
         print(line)
     return 0
 

@@ -195,6 +195,15 @@ class ExperimentConfig:
     # content-addressed cache key / canonical dict.
     frame_trains: bool = field(default=True, metadata={"cache_key": False})
 
+    # Companion switch one level up: the steady-state express lane
+    # (DESIGN.md §13) routes CPU job completions and chased timer deadlines
+    # through the engine's off-wheel dispatch heap, fast-forwarding whole
+    # ACK-clocked rounds of quiescent bulk flows. Byte-identical by
+    # construction (same golden-digest + equivalence-test gates as
+    # frame_trains), so it is likewise excluded from the cache key.
+    # ``repro ... --no-express`` is the escape hatch.
+    express: bool = field(default=True, metadata={"cache_key": False})
+
     # Opt-in per-stage latency tracing (DESIGN.md §12). Unlike frame_trains
     # this IS part of the cache key: traced results carry an extra payload
     # section, so they must not be served from (or poison) untraced cache

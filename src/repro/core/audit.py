@@ -412,8 +412,17 @@ class ConservationAuditor:
         )
         self._check_exact(
             "engine.pending", "engine",
-            counts["queued"] - counts["cancelled_recount"], counts["pending"],
+            counts["queued"] - counts["cancelled_recount"]
+            + counts["express_pending"],
+            counts["pending"],
             "pending_events() disagrees with a live-event recount",
+        )
+        self._check_exact(
+            "engine.express_lane", "engine",
+            counts["express_registered"],
+            counts["express_fired"] + counts["express_materialized"]
+            + counts["express_pending"],
+            "express entries registered != fired + materialized + queued",
         )
 
     # --- metrics self-consistency --------------------------------------------------------

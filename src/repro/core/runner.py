@@ -13,6 +13,7 @@ results are byte-identical by construction.
 
 from __future__ import annotations
 
+import gc
 import os
 from dataclasses import dataclass
 from functools import partial
@@ -37,6 +38,8 @@ class RunnerStats:
     #: harness reads these to track the frame-train event-count savings.
     events_fired: int = 0
     events_cancelled: int = 0
+    #: Express-lane dispatches (off-wheel), same summation rules.
+    express_fired: int = 0
 
     def reset(self) -> None:
         self.experiments_run = 0
@@ -44,6 +47,7 @@ class RunnerStats:
         self.cache_misses = 0
         self.events_fired = 0
         self.events_cancelled = 0
+        self.express_fired = 0
 
 
 #: Payload side-channel key carrying per-run engine statistics from workers.
@@ -59,11 +63,25 @@ def _execute(config: ExperimentConfig, audit: bool = False) -> dict:
     inside the payload (see ``result_to_dict``), so audited runs work across
     the process boundary too.
     """
-    experiment = Experiment(config, audit=audit)
-    payload = result_to_dict(experiment.run())
+    # The simulator allocates millions of short-lived tracked objects (frames,
+    # records, jobs, charge batches) and keeps no cyclic garbage on the hot
+    # path, so the generational collector only costs wall time here: pause it
+    # for the duration of the run. Refcounting still reclaims everything hot;
+    # the (acyclic-but-tracked) experiment graph dies when the payload is
+    # extracted and the collector resumes for everything outside the run.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        experiment = Experiment(config, audit=audit)
+        payload = result_to_dict(experiment.run())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     payload[_ENGINE_STATS_KEY] = {
         "events_fired": experiment.engine.events_fired,
         "events_cancelled": experiment.engine.events_cancelled,
+        "express_fired": experiment.engine.express_fired,
     }
     return payload
 
@@ -132,6 +150,7 @@ def run_many(
         if engine_stats is not None:
             stats.events_fired += engine_stats["events_fired"]
             stats.events_cancelled += engine_stats["events_cancelled"]
+            stats.express_fired += engine_stats.get("express_fired", 0)
         result = result_from_dict(payload)
         if cache is not None:
             cache.put(configs[index], result)

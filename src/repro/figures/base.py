@@ -47,6 +47,9 @@ _AUDIT: bool = False
 #: replay (``repro ... --no-train``). Results are byte-identical either way;
 #: the flag exists as an escape hatch and for the bench cross-check.
 _FRAME_TRAINS: bool = True
+#: Steady-state express lane (``repro ... --no-express`` disables). Like
+#: ``_FRAME_TRAINS``: byte-identical either way, escape hatch + bench knob.
+_EXPRESS: bool = True
 #: Run every experiment with per-stage latency tracing (``repro trace``).
 #: Part of the config (and hence the cache key), unlike ``_FRAME_TRAINS``.
 _TRACE: bool = False
@@ -64,14 +67,16 @@ def configure(
     audit: bool = False,
     frame_trains: bool = True,
     trace: bool = False,
+    express: bool = True,
 ) -> None:
     """Set the runner used by every subsequent figure generation."""
-    global _JOBS, _CACHE, _AUDIT, _FRAME_TRAINS, _TRACE
+    global _JOBS, _CACHE, _AUDIT, _FRAME_TRAINS, _TRACE, _EXPRESS
     _JOBS = jobs
     _CACHE = cache
     _AUDIT = audit
     _FRAME_TRAINS = frame_trains
     _TRACE = trace
+    _EXPRESS = express
     AUDIT_REPORTS.clear()
     TRACE_REPORTS.clear()
 
@@ -90,7 +95,7 @@ def prepare(
         warmup_ns = WARMUP_NS[config.pattern]
     return config.replace(
         duration_ns=DURATION_NS, warmup_ns=warmup_ns,
-        frame_trains=_FRAME_TRAINS, trace=_TRACE,
+        frame_trains=_FRAME_TRAINS, trace=_TRACE, express=_EXPRESS,
     )
 
 

@@ -163,12 +163,21 @@ class Core:
         self.busy_cycles += cycles
 
         duration_ns = max(1, int(cycles / self.freq_hz * 1e9))
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         start = now if start_vt is None else start_vt
         finish_t = start + duration_ns
         self.busy_until = finish_t
         if finish_t > now:
-            self.engine.schedule_at(finish_t, self._finish, job)
+            # Completions are ideal express-lane cargo: the finish time and
+            # ordering ticket are final at this instant and the event is
+            # never cancelled. A quiescent ACK-clocked round is a chain of
+            # these, so routing them off-wheel is what lets the engine
+            # fast-forward whole rounds (DESIGN.md §13).
+            if engine.express_enabled:
+                engine.express_at(finish_t, self._finish, job)
+            else:
+                engine.schedule_at(finish_t, self._finish, job)
         elif self._rx_settle is not None:
             # Virtual start whose finish lands at this very instant (the
             # frame-train wake stands in for the finish event): the pipeline

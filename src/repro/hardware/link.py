@@ -92,6 +92,10 @@ class Link:
         self.switch_delay_ns = switch_delay_ns
         self.ecn_threshold_bytes = ecn_threshold_bytes
         self._free_at = 0
+        #: Per-link serialization-delay memo {wire_bytes: ns}. The global
+        #: memo in :mod:`repro.units` keys on (bytes, rate); with the rate
+        #: fixed per link this drops the tuple build from the per-frame loop.
+        self._tt_cache: dict = {}
         # SideTrace of the *transmitting* host (None unless tracing): the
         # tx_wire stage (doorbell -> last bit out) is charged to the sender.
         self.trace = None
@@ -132,8 +136,6 @@ class Link:
         the two paths consume the loss RNG stream identically.
         """
         t = max(vt, self._free_at)
-        delivered: List[Frame] = []
-        append = delivered.append
         bandwidth = self.bandwidth_bps
         drop = self.has_switch and self.loss_rate > 0
         mark = self.has_switch and self.ecn_threshold_bytes > 0
@@ -142,12 +144,42 @@ class Link:
         # after the instant they model, and ``t`` is the virtual truth.
         trace = self.trace
         wire_record = trace.stage("tx_wire").record if trace is not None else None
+        tt_cache = self._tt_cache
+        tt_get = tt_cache.get
+        if not drop and not mark and wire_record is None:
+            # Fast path (lossless unswitched untraced link — the default
+            # testbed): every frame survives and only the *final* clock
+            # matters. Per-frame delays are integers, so summing them first
+            # is bit-exact with the sequential accumulation below.
+            bytes_sent = 0
+            dt_sum = 0
+            for frame in frames:
+                wire_bytes = frame.wire_bytes
+                dt = tt_get(wire_bytes)
+                if dt is None:
+                    dt = tt_cache[wire_bytes] = transmission_time_ns(
+                        wire_bytes, bandwidth
+                    )
+                dt_sum += dt
+                bytes_sent += wire_bytes
+            t += dt_sum
+            self.frames_sent += len(frames)
+            self.bytes_sent += bytes_sent
+            self._free_at = t
+            return list(frames), bytes_sent, t
+        delivered: List[Frame] = []
+        append = delivered.append
         nsent = 0
         bytes_sent = 0
         delivered_bytes = 0
         for frame in frames:
             wire_bytes = frame.wire_bytes
-            t += transmission_time_ns(wire_bytes, bandwidth)
+            dt = tt_get(wire_bytes)
+            if dt is None:
+                dt = tt_cache[wire_bytes] = transmission_time_ns(
+                    wire_bytes, bandwidth
+                )
+            t += dt
             nsent += 1
             bytes_sent += wire_bytes
             if drop and self.rng.random() < self.loss_rate:

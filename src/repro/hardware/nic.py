@@ -58,6 +58,10 @@ class RxQueue:
         self.capacity = descriptors
         self.avail_descriptors = descriptors
         self.pending: Deque[RxFrameRecord] = deque()
+        #: Wire frames represented by ``pending`` — sum of ``record.nframes``
+        #: (maintained by ``_rx_ingest``/``_take_batch``) so a whole-queue
+        #: NAPI take can skip the per-record drain loop.
+        self.pending_frames = 0
         self.napi = None  # wired by the host (kernel.napi.NapiContext)
         self.dropped_no_descriptor = 0
         self.dropped_no_descriptor_bytes = 0
@@ -306,16 +310,30 @@ class Nic:
         rx_frames = 0
         rx_bytes = 0
         kind_data = Frame.KIND_DATA
+        dca_write = dca.dma_write if dca is not None else None
+        dca_node = dca.node_id if dca is not None else -1
+        # Steering is fixed for the duration of one ingest (aRFS reprograms
+        # between events, never mid-batch) and train batches are runs of
+        # same-flow frames, so one (flow -> queue) memo elides most lookups.
+        last_flow = -1
+        last_queue = None
         for frame in frames:
-            queue = queue_for(frame.flow_id)
-            if not queue.active:
-                queue.active = True
-                self._update_dca_footprint()
+            flow_id = frame.flow_id
+            if flow_id == last_flow:
+                queue = last_queue
+            else:
+                queue = queue_for(flow_id)
+                last_flow = flow_id
+                last_queue = queue
+                if not queue.active:
+                    queue.active = True
+                    self._update_dca_footprint()
             if queue.avail_descriptors <= 0:
                 queue.dropped_no_descriptor += 1
                 queue.dropped_no_descriptor_bytes += frame.wire_bytes
                 continue
             queue.avail_descriptors -= 1
+            queue.pending_frames += 1
             rx_frames += 1
             rx_bytes += frame.wire_bytes
             is_data = frame.kind == kind_data
@@ -332,13 +350,13 @@ class Nic:
             payload = frame.payload_bytes
             pages = (payload + PAGE_BYTES - 1) // PAGE_BYTES if payload else 0
             if (
-                dca is not None
+                dca_write is not None
                 and is_data
                 and payload
-                and queue.page_node == dca.node_id
+                and queue.page_node == dca_node
             ):
                 # DDIO pushes the DMA into the NIC-local L3's DCA slice.
-                dca.dma_write(region_id, payload)
+                dca_write(region_id, payload)
             # direct field assignment (bypassing __init__): per-frame hot path
             record = RxFrameRecord.__new__(RxFrameRecord)
             record.frame = frame

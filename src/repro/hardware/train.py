@@ -146,10 +146,16 @@ class TrainPipeline:
         flows = self.tx_nic._tx_flows
         batch_frames = self.tx_nic.TX_BATCH_FRAMES
         bump = False
+        # Bursts are runs of same-flow frames: memo the last (flow -> queue).
+        last_flow = -1
+        queue = None
         for frame in frames:
-            queue = flows.get(frame.flow_id)
-            if queue is None:
-                queue = flows[frame.flow_id] = deque()
+            flow_id = frame.flow_id
+            if flow_id != last_flow:
+                last_flow = flow_id
+                queue = flows.get(flow_id)
+                if queue is None:
+                    queue = flows[flow_id] = deque()
             if len(queue) < batch_frames:
                 # Appends beyond one full batch extend queue tails only: the
                 # round-robin composition of the *next* batch — and with it
@@ -567,8 +573,16 @@ class TrainPipeline:
             return None, None
         finish = max(vt, link._free_at)
         per_flow: dict = {}
+        tt_cache = link._tt_cache
+        tt_get = tt_cache.get
         for frame in batch:
-            finish += transmission_time_ns(frame.wire_bytes, bandwidth)
+            wire_bytes = frame.wire_bytes
+            dt = tt_get(wire_bytes)
+            if dt is None:
+                dt = tt_cache[wire_bytes] = transmission_time_ns(
+                    wire_bytes, bandwidth
+                )
+            finish += dt
             fid = frame.flow_id
             per_flow[fid] = per_flow.get(fid, 0) + 1
         arrival = link.arrival_time(finish)

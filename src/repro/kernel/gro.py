@@ -163,6 +163,107 @@ class GroEngine:
             flushed,
         )
 
+    def receive_run(
+        self,
+        records,
+        start: int,
+        end: int,
+        endpoints,
+        items: ChargeItems,
+        frame_to_skb,
+        deliver,
+    ) -> None:
+        """Feed a run of consecutive data records (``records[start:end]``).
+
+        Per-record semantics are exactly :meth:`receive_record` driven by the
+        NAPI poll loop — records whose flow has no live endpoint are skipped
+        (the poll's stray-frame ``continue``), charge items land on ``items``
+        in the same order, and every flushed skb is handed to ``deliver``
+        immediately after its flush charge. Batching exists purely to hoist
+        the per-frame attribute/method lookups out of the hottest loop in
+        the simulator; the state machine must stay in lockstep with
+        :meth:`receive`.
+        """
+        if not self.enabled:
+            frames = 0
+            endpoints_get = endpoints.get
+            for i in range(start, end):
+                record = records[i]
+                if endpoints_get(record.frame.flow_id) is None:
+                    continue
+                frames += 1
+                deliver(frame_to_skb(record))
+            self.frames_in += frames
+            self.skbs_out += frames
+            return
+        held_map = self._held
+        held_get = held_map.get
+        move_to_end = held_map.move_to_end
+        popitem = held_map.popitem
+        endpoints_get = endpoints.get
+        max_bytes = self.max_merged_bytes
+        max_held = self.max_held_flows
+        merge_items = self._merge_items
+        recv_only_items = self._recv_only_items
+        gro_receive_item = self.tables.gro_receive_item
+        gro_flush = self.tables.gro_flush
+        items_extend = items.extend
+        items_append = items.append
+        frames_in = 0
+        merges = 0
+        skbs_out = 0
+        for i in range(start, end):
+            record = records[i]
+            frame = record.frame
+            flow_id = frame.flow_id
+            if endpoints_get(flow_id) is None:
+                continue
+            frames_in += 1
+            held = held_get(flow_id)
+            if held is not None:
+                payload = frame.payload_bytes
+                held_payload = held.payload_bytes
+                if (
+                    held_payload + payload <= max_bytes
+                    and held.seq + held_payload == frame.seq
+                    and held.page_node == record.page_node
+                ):
+                    held.payload_bytes = held_payload + payload
+                    held.nframes += record.nframes
+                    held.pages += record.pages
+                    held.regions.append((record.region_id, payload))
+                    if frame.ecn_marked:
+                        held.ecn = True
+                    if len(held_map) > 1:  # moving the only entry is a no-op
+                        move_to_end(flow_id)
+                    merges += 1
+                    items_extend(merge_items)
+                    continue
+                del held_map[flow_id]
+                flushed_held = held
+            else:
+                flushed_held = None
+            # flow_id is absent either way, so plain insertion already lands
+            # the fresh skb at the (most-recent) end of the held map.
+            held_map[flow_id] = frame_to_skb(record)
+            evicted = None
+            if len(held_map) > max_held:
+                _, evicted = popitem(last=False)
+            if flushed_held is None and evicted is None:
+                items_extend(recv_only_items)
+                continue
+            nflushed = (flushed_held is not None) + (evicted is not None)
+            skbs_out += nflushed
+            items_append(gro_receive_item)
+            items_append(gro_flush(nflushed))
+            if flushed_held is not None:
+                deliver(flushed_held)
+            if evicted is not None:
+                deliver(evicted)
+        self.frames_in += frames_in
+        self.merges += merges
+        self.skbs_out += skbs_out
+
     def flush_all(self) -> Tuple[ChargeItems, List[Skb]]:
         """End of NAPI poll: push everything held up the stack."""
         if not self._held:

@@ -51,10 +51,9 @@ class NapiContext:
         self.irqs = 0
         self._last_activity_ns = -IRQ_IDLE_RESET_NS
         rxq.napi = self
-
-    @property
-    def core(self):
-        return self.rxq.irq_core
+        # Plain attribute, not a property: ``irq_core`` is fixed at RxQueue
+        # construction and ``napi.core`` is read on every poll/notify.
+        self.core = rxq.irq_core
 
     def notify(self) -> None:
         """The NIC signals new completions.
@@ -109,13 +108,25 @@ class NapiContext:
         )
 
     def _take_batch(self) -> Tuple[List["RxFrameRecord"], int]:
+        rxq = self.rxq
+        pending = rxq.pending
+        frames = rxq.pending_frames
+        if frames <= NAPI_BUDGET_FRAMES:
+            # Whole queue fits in the budget (the common case): take it in
+            # one bulk copy instead of a per-record drain loop.
+            if not frames:
+                return [], 0
+            batch = list(pending)
+            pending.clear()
+            rxq.pending_frames = 0
+            return batch, frames
         batch: List["RxFrameRecord"] = []
         frames = 0
-        pending = self.rxq.pending
         while pending and frames < NAPI_BUDGET_FRAMES:
             record = pending.popleft()
             batch.append(record)
             frames += record.nframes
+        rxq.pending_frames -= frames
         return batch, frames
 
     def _poll(self) -> None:
@@ -169,24 +180,54 @@ class NapiContext:
         # One rx_ring sample per data completion: DMA arrival (the record's
         # stamped virtual arrival time, train-correct) to this poll instant.
         ring_record = trace.stage("rx_ring").record if trace is not None else None
-        for record in batch:
-            frame = record.frame
-            endpoint = endpoints.get(frame.flow_id)
-            if endpoint is None:
-                continue  # stray frame for a torn-down flow
-            kind = frame.kind
-            if kind == kind_data:
-                if ring_record is not None:
+        if ring_record is None:
+            # Untraced hot path: hand consecutive data records to GRO as one
+            # run (identical per-record semantics, per-frame lookups hoisted).
+            gro_run = self.gro.receive_run
+
+            def deliver_flushed(skb: Skb) -> None:
+                deliver_skb(skb, now, items, deferred, ack_frames, remote)
+
+            i = 0
+            n = len(batch)
+            while i < n:
+                record = batch[i]
+                frame = record.frame
+                kind = frame.kind
+                if kind == kind_data:
+                    j = i + 1
+                    while j < n and batch[j].frame.kind == kind_data:
+                        j += 1
+                    gro_run(batch, i, j, endpoints, items,
+                            frame_to_skb, deliver_flushed)
+                    i = j
+                    continue
+                endpoint = endpoints.get(frame.flow_id)
+                if endpoint is not None:  # else: stray, torn-down flow
+                    if kind == kind_ack:
+                        items.append(skb_free_item)
+                        endpoint.on_ack_frame(frame.ack, core, items, deferred)
+                    elif kind == "probe":
+                        endpoint.on_probe_frame(items, ack_frames)
+                i += 1
+        else:
+            for record in batch:
+                frame = record.frame
+                endpoint = endpoints.get(frame.flow_id)
+                if endpoint is None:
+                    continue  # stray frame for a torn-down flow
+                kind = frame.kind
+                if kind == kind_data:
                     ring_record(now - record.arrival_ns)
-                gro_items, completed = gro_receive(record, frame_to_skb)
-                extend(gro_items)
-                for done_skb in completed:
-                    deliver_skb(done_skb, now, items, deferred, ack_frames, remote)
-            elif kind == kind_ack:
-                items.append(skb_free_item)
-                endpoint.on_ack_frame(frame.ack, core, items, deferred)
-            elif kind == "probe":
-                endpoint.on_probe_frame(items, ack_frames)
+                    gro_items, completed = gro_receive(record, frame_to_skb)
+                    extend(gro_items)
+                    for done_skb in completed:
+                        deliver_skb(done_skb, now, items, deferred, ack_frames, remote)
+                elif kind == kind_ack:
+                    items.append(skb_free_item)
+                    endpoint.on_ack_frame(frame.ack, core, items, deferred)
+                elif kind == "probe":
+                    endpoint.on_probe_frame(items, ack_frames)
 
         flush_items, flushed = self.gro.flush_all()
         items.extend(flush_items)

@@ -1,0 +1,138 @@
+"""Steady-state express lane vs wheel path, four-way, on random configs.
+
+The express lane (``Engine.express_at`` + the quiescence gate in
+``repro.kernel.tcp.express``) fast-forwards whole ACK-clocked rounds of
+quiescent bulk flows by dispatching CPU job completions and lazily-chased RTO
+deadlines straight off a deadline-sorted side heap, skipping timer-wheel
+insertion and cascade for the events that dominate steady state. The promise
+is the same as the frame-train pipeline's: *bit-identical results* — every
+exported metric, every latency reservoir sample, every RNG draw — for any
+configuration, with fewer engine events fired.
+
+Because the express lane composes with frame trains (trains batch the wire,
+the express lane batches the clock), these tests run each random config in
+all FOUR mode combinations — express/no-express x train/no-train — and
+require full observable agreement across the square, plus a clean
+conservation audit in every mode.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CongestionControl,
+    ExperimentConfig,
+    LinkConfig,
+    OptimizationConfig,
+    TcpConfig,
+    TrafficPattern,
+    WorkloadConfig,
+)
+from repro.core.experiment import Experiment
+from repro.core.export import result_to_dict
+from repro.units import msec
+
+
+def _run_mode(config: ExperimentConfig, express: bool, frame_trains: bool):
+    experiment = Experiment(
+        config.replace(express=express, frame_trains=frame_trains), audit=True
+    )
+    result = experiment.run()
+    payload = result_to_dict(result)
+    reservoirs = {
+        host: (
+            list(experiment.metrics.side(host).latency_samples),
+            experiment.metrics.side(host).latency_dropped,
+        )
+        for host in ("sender", "receiver")
+    }
+    engine = experiment.engine
+    return payload, reservoirs, engine.events_fired, engine.express_fired
+
+
+_OPTS = [
+    OptimizationConfig.none(),
+    OptimizationConfig.tso_gro_only(),
+    OptimizationConfig.all(),
+    OptimizationConfig(tso_gro=True, jumbo=True, arfs=True, lro=True),
+]
+
+_PATTERNS = [
+    (TrafficPattern.SINGLE, 1),
+    (TrafficPattern.ONE_TO_ONE, 2),
+    (TrafficPattern.INCAST, 3),
+    (TrafficPattern.MIXED, 1),
+]
+
+# Express aborts are where the bugs live: loss perturbs quiescence via
+# dupacks/recovery, DCTCP perturbs it via ECN-driven cwnd moves, BBR's pacing
+# gate exercises cc.quiescent(), and MIXED adds RPC flows that never qualify.
+_CCS = [CongestionControl.CUBIC, CongestionControl.DCTCP, CongestionControl.BBR]
+
+
+@st.composite
+def express_configs(draw):
+    pattern, num_flows = draw(st.sampled_from(_PATTERNS))
+    opts = draw(st.sampled_from(_OPTS))
+    lossy = draw(st.booleans())
+    link = LinkConfig(
+        loss_rate=draw(st.sampled_from([2e-4, 1e-3])) if lossy else 0.0,
+        has_switch=lossy,
+    )
+    tcp = TcpConfig(congestion_control=draw(st.sampled_from(_CCS)))
+    workload = WorkloadConfig()
+    if pattern is TrafficPattern.MIXED:
+        workload = WorkloadConfig(num_rpc_flows=draw(st.integers(1, 2)))
+    return ExperimentConfig(
+        pattern=pattern,
+        num_flows=num_flows,
+        duration_ns=msec(1),
+        warmup_ns=msec(1),
+        seed=draw(st.integers(1, 5)),
+        opts=opts,
+        tcp=tcp,
+        link=link,
+        workload=workload,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(config=express_configs())
+def test_express_lane_is_observably_identical_four_ways(config):
+    # (express, frame_trains) over the full square. The (False, False) cell is
+    # the legacy per-event pipeline — the reference everything must equal.
+    modes = {
+        (express, trains): _run_mode(config, express, trains)
+        for express in (True, False)
+        for trains in (True, False)
+    }
+    ref_payload, ref_samples, ref_events, _ = modes[(False, False)]
+    ref_audit = ref_payload.pop("audit")
+    assert ref_audit["ok"], ref_audit
+
+    for key, (payload, samples, events, express_fired) in modes.items():
+        if key == (False, False):
+            continue
+        audit = payload.pop("audit")
+        # Every exported number — throughput, breakdowns, cache rates,
+        # latency summary, drop/retransmit counters — must match exactly.
+        assert payload == ref_payload, key
+        # Raw reservoirs too: same samples in the same order means every
+        # recording happened at the same instant with the same RNG state.
+        assert samples == ref_samples, key
+        assert audit["ok"], (key, audit)
+        # The point of the fast paths: same physics, never more events.
+        assert events <= ref_events, key
+
+    # With the lane off, nothing may route through it; with it on, steady
+    # state should actually use it (every config sustains a bulk flow long
+    # enough for at least one quiescent completion to ride the side heap).
+    assert modes[(False, True)][3] == 0
+    assert modes[(False, False)][3] == 0
+    assert modes[(True, True)][3] > 0
+    assert modes[(True, False)][3] > 0
+
+    # Express + trains is the shipping default and must be the cheapest cell
+    # of the square in events fired.
+    assert modes[(True, True)][2] <= modes[(False, True)][2]
+    assert modes[(True, False)][2] <= modes[(False, False)][2]
