@@ -1,0 +1,142 @@
+"""Committed-baseline handling for ``repro lint``.
+
+The baseline is the explicit, reviewed list of findings the tree is allowed
+to carry: each entry names the finding's stable identity plus a mandatory
+human reason. The gate is *ratcheting*:
+
+* a finding not in the baseline fails the lint run (no new debt), and
+* a baseline entry that no longer matches anything fails it too (debt that
+  was paid off must leave the ledger — ``repro lint --write-baseline``
+  rewrites the file from the current findings, preserving reasons).
+
+Entries match on :meth:`repro.analysis.findings.Finding.identity` — rule,
+path, symbol and message, never line numbers — so accepted findings survive
+unrelated edits in the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+#: The committed baseline ships inside the package, next to this module.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    reason: str = ""
+
+    def identity(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.symbol, self.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching findings against the baseline."""
+
+    new: List[Finding]               # findings with no baseline entry -> fail
+    suppressed: List[Finding]        # findings covered by the baseline
+    stale: List[BaselineEntry]       # entries matching nothing -> fail (ratchet)
+
+
+def load_baseline(path: Optional[Path] = None) -> List[BaselineEntry]:
+    """Entries of the baseline file; a missing file is an empty baseline."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    if not path.exists():
+        return []
+    document = json.loads(path.read_text())
+    if document.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {document.get('version')!r} "
+            f"in {path} (expected {_FORMAT_VERSION})"
+        )
+    return [
+        BaselineEntry(
+            rule=entry["rule"],
+            path=entry["path"],
+            symbol=entry["symbol"],
+            message=entry["message"],
+            reason=entry.get("reason", ""),
+        )
+        for entry in document["findings"]
+    ]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> BaselineResult:
+    """Split findings into new vs baseline-suppressed; report stale entries.
+
+    Duplicate identities are tolerated on both sides: one entry covers every
+    finding sharing its identity (several sites of one accepted pattern in
+    one symbol collapse naturally).
+    """
+    by_identity: Dict[Tuple[str, str, str, str], BaselineEntry] = {
+        entry.identity(): entry for entry in entries
+    }
+    used = set()
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        entry = by_identity.get(finding.identity())
+        if entry is None:
+            new.append(finding)
+        else:
+            suppressed.append(finding)
+            used.add(entry.identity())
+    stale = [e for e in entries if e.identity() not in used]
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: Optional[Path] = None,
+    previous: Sequence[BaselineEntry] = (),
+) -> Path:
+    """Rewrite the baseline from the current findings.
+
+    Reasons of surviving entries are preserved; genuinely new entries get an
+    empty reason that review is expected to fill in. Output is sorted and
+    deduplicated so the file diffs cleanly.
+    """
+    path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    reasons = {entry.identity(): entry.reason for entry in previous}
+    entries = sorted(
+        {
+            BaselineEntry(
+                rule=f.rule,
+                path=f.path,
+                symbol=f.symbol,
+                message=f.message,
+                reason=reasons.get(f.identity(), ""),
+            )
+            for f in findings
+        },
+        key=lambda e: (e.path, e.rule, e.symbol, e.message),
+    )
+    document = {
+        "version": _FORMAT_VERSION,
+        "findings": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "symbol": e.symbol,
+                "message": e.message,
+                "reason": e.reason,
+            }
+            for e in entries
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path

@@ -1,0 +1,260 @@
+"""Checker 3 — express-lane purity: the DESIGN.md §13 contract, statically.
+
+Express-lane entries (``Engine.express_at``) dispatch straight off a side
+heap: no ``Event`` object exists and the entry can never be cancelled. The
+lane is only byte-identical to the wheel because everything it carries is
+*fully determined* work. Code running under a lane callback that quietly
+creates wheel traffic is therefore suspect: the wheel event it schedules is
+cancellable state the lane's identity argument knows nothing about, and the
+hot loop's "provably empty skipped region" reasoning stops holding if lane
+work re-enters the wheel in unexpected places.
+
+This checker finds every lane entry point —
+
+* the callback passed to ``*.express_at(time, fn, ...)``, and
+* any function that draws a lane ticket with ``*.reserve_serial()``
+  (a producer deferring a registration),
+
+— then walks the statically-resolvable call graph from each root
+(``self.method()`` edges, same-module function calls, and functions defined
+inside a traversed function) and flags:
+
+``express-wheel-schedule``
+    a reachable call to ``*.schedule(...)`` / ``*.schedule_at(...)``.
+``express-event-alloc``
+    a reachable direct allocation of ``Event(...)``.
+
+Deliberately-gated wheel fallbacks (the eager branch behind
+``express_enabled`` / quiescence checks) are real findings by design: they
+live in the committed baseline with a reason, so any *new* wheel traffic
+reachable from the lane must be justified the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..project import Project, SourceFile
+
+CHECKER_ID = "express-purity"
+
+RATIONALES = {
+    "express-wheel-schedule": "code reachable from an express-lane entry "
+    "point schedules wheel events; the lane's byte-identity argument only "
+    "covers fully-determined, cancel-free work (DESIGN.md §13) — gate "
+    "the wheel path explicitly and justify it in the baseline",
+    "express-event-alloc": "an Event allocated under a lane callback "
+    "creates cancellable wheel state the express fast-forward cannot see",
+}
+
+_SINK_ATTRS = frozenset({"schedule", "schedule_at"})
+
+
+def _body_nodes(func: ast.AST):
+    """Yield AST nodes of a function body, excluding nested function bodies.
+
+    Nested functions are traversed as their own call-graph nodes; lambdas
+    are treated inline (their bodies execute with the enclosing scope's
+    discipline and cannot contain statements anyway).
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FuncInfo:
+    """One function in the per-file call-graph index."""
+
+    __slots__ = ("node", "qualname", "class_name", "nested")
+
+    def __init__(
+        self,
+        node: ast.AST,
+        qualname: str,
+        class_name: Optional[str],
+        nested: Dict[str, "_FuncInfo"],
+    ) -> None:
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self.nested = nested
+
+
+class _FileIndex:
+    """Functions, methods and Event-name resolution for one module."""
+
+    def __init__(self, file: SourceFile) -> None:
+        self.file = file
+        self.module_funcs: Dict[str, _FuncInfo] = {}
+        self.methods: Dict[Tuple[str, str], _FuncInfo] = {}  # (class, name)
+        self._index_module(file.tree)
+        origin = file.imports.get("Event", "")
+        self.event_is_engine_event = origin.endswith("engine.Event") or any(
+            isinstance(node, ast.ClassDef) and node.name == "Event"
+            for node in file.tree.body
+        )
+
+    def _index_module(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_funcs[node.name] = self._index_func(node, node.name, None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = self._index_func(
+                            sub, f"{node.name}.{sub.name}", node.name
+                        )
+                        self.methods[(node.name, sub.name)] = info
+
+    def _index_func(
+        self, node: ast.AST, qualname: str, class_name: Optional[str]
+    ) -> _FuncInfo:
+        nested: Dict[str, _FuncInfo] = {}
+        for sub in _body_nodes(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested[sub.name] = self._index_func(
+                    sub, f"{qualname}.{sub.name}", class_name
+                )
+        return _FuncInfo(node, qualname, class_name, nested)
+
+    def all_funcs(self):
+        stack = list(self.module_funcs.values()) + list(self.methods.values())
+        while stack:
+            info = stack.pop()
+            yield info
+            stack.extend(info.nested.values())
+
+
+def _callback_target(
+    index: _FileIndex, info: _FuncInfo, call: ast.Call
+) -> Optional[_FuncInfo]:
+    """Resolve the callback argument of an ``express_at`` call site."""
+    callback: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        callback = call.args[1]
+    else:
+        for keyword in call.keywords:
+            if keyword.arg == "fn":
+                callback = keyword.value
+    if callback is None:
+        return None
+    if (
+        isinstance(callback, ast.Attribute)
+        and isinstance(callback.value, ast.Name)
+        and callback.value.id == "self"
+        and info.class_name is not None
+    ):
+        return index.methods.get((info.class_name, callback.attr))
+    if isinstance(callback, ast.Name):
+        return info.nested.get(callback.id) or index.module_funcs.get(callback.id)
+    return None
+
+
+def _walk_from_root(
+    index: _FileIndex, root: _FuncInfo, root_kind: str, findings: List[Finding]
+) -> None:
+    root_label = f"{root_kind} {root.qualname}"
+    visited: Set[int] = set()
+    emitted: Set[Tuple[str, str, str]] = set()
+    stack: List[_FuncInfo] = [root]
+    while stack:
+        info = stack.pop()
+        if id(info.node) in visited:
+            continue
+        visited.add(id(info.node))
+        for node in _body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SINK_ATTRS:
+                    rule = "express-wheel-schedule"
+                    message = (
+                        f"wheel event scheduled via .{func.attr}() in code "
+                        f"reachable from express-lane {root_label}"
+                    )
+                    key = (rule, info.qualname, message)
+                    if key not in emitted:
+                        emitted.add(key)
+                        findings.append(
+                            Finding(
+                                path=index.file.path,
+                                line=node.lineno,
+                                rule=rule,
+                                symbol=info.qualname,
+                                message=message,
+                                rationale=RATIONALES[rule],
+                                checker=CHECKER_ID,
+                            )
+                        )
+                # Traversal edge: self.method()
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and info.class_name is not None
+                ):
+                    target = index.methods.get((info.class_name, func.attr))
+                    if target is not None:
+                        stack.append(target)
+            elif isinstance(func, ast.Name):
+                if func.id == "Event" and index.event_is_engine_event:
+                    rule = "express-event-alloc"
+                    message = (
+                        "Event allocated in code reachable from express-lane "
+                        f"{root_label}"
+                    )
+                    key = (rule, info.qualname, message)
+                    if key not in emitted:
+                        emitted.add(key)
+                        findings.append(
+                            Finding(
+                                path=index.file.path,
+                                line=node.lineno,
+                                rule=rule,
+                                symbol=info.qualname,
+                                message=message,
+                                rationale=RATIONALES[rule],
+                                checker=CHECKER_ID,
+                            )
+                        )
+                target = info.nested.get(func.id) or index.module_funcs.get(func.id)
+                if target is not None:
+                    stack.append(target)
+        # Functions defined inside a traversed function are part of its
+        # logic (deferred-work closures): traverse them unconditionally.
+        stack.extend(info.nested.values())
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for file in project:
+        if file.tree is None:
+            continue
+        if file.relpath == "sim/engine.py":
+            # The engine implements the lane; its internal wheel/heap
+            # bookkeeping is the mechanism under contract, not a consumer.
+            continue
+        index = _FileIndex(file)
+        roots: Dict[str, Tuple[_FuncInfo, str]] = {}
+        for info in index.all_funcs():
+            for node in _body_nodes(info.node):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                if node.func.attr == "express_at":
+                    target = _callback_target(index, info, node)
+                    if target is not None:
+                        roots.setdefault(target.qualname, (target, "callback"))
+                elif node.func.attr == "reserve_serial":
+                    roots.setdefault(info.qualname, (info, "producer"))
+        for qualname in sorted(roots):
+            info, kind = roots[qualname]
+            _walk_from_root(index, info, kind, findings)
+    return findings

@@ -1,0 +1,272 @@
+"""Checker 4 — slots/fast-constructor discipline.
+
+Hot-path value classes (``Frame``, ``Skb``, ``RxFrameRecord``) are built two
+ways: the normal ``__init__``, and a fast path that calls
+``Cls.__new__(Cls)`` and assigns slots directly (bypassing ``__init__``
+entirely — measured as the hottest allocation sites in PR 3). That idiom is
+fast *and* fragile: a slot added to ``__init__`` but forgotten at one fast
+site becomes an ``AttributeError`` at a distance, on whichever code path
+first reads the unset slot — typically far from the construction and only
+under the configs that exercise it.
+
+Rules, applied to every class in the tree that declares ``__slots__``:
+
+``slots-incomplete-new``
+    A ``Cls.__new__(Cls)`` fast-construction site (direct or through a
+    hoisted local alias ``ctor = Cls.__new__``) whose enclosing function
+    does not assign every declared slot of the constructed object.
+    Intentionally-lazy slots (e.g. trace stamps only written under
+    tracing) are suppressed at the site with an inline pragma naming the
+    reason.
+``slots-stray-write``
+    An attribute write to a name that is *not* in the class's
+    ``__slots__``, through a receiver whose class is statically known
+    (``self`` inside the class, a parameter annotated with the class, or a
+    local constructed from it). At runtime this raises ``AttributeError``
+    only when the write executes; the checker catches it on every path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..findings import Finding
+from ..project import Project, ScopeVisitor, SourceFile, const_str_elements
+
+CHECKER_ID = "slots-discipline"
+
+RATIONALES = {
+    "slots-incomplete-new": "a fast-construction site that skips a slot "
+    "leaves it unset (no __init__ ran); the first read raises "
+    "AttributeError far from the construction, only on the configs that "
+    "reach it",
+    "slots-stray-write": "writing an attribute outside __slots__ raises "
+    "AttributeError at runtime; a typo here only explodes on the paths "
+    "that execute it",
+}
+
+
+def _slotted_classes(project: Project) -> Dict[str, Set[str]]:
+    """``{class name: slot names}`` across the whole tree.
+
+    Class names are assumed unique across the package (true for this repo;
+    a collision would only merge slot sets and weaken the check, never
+    produce a false finding for slots-incomplete-new).
+    """
+    classes: Dict[str, Set[str]] = {}
+    for file in project:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "__slots__"
+                        for t in statement.targets
+                    )
+                ):
+                    elements = const_str_elements(statement.value)
+                    if elements is not None:
+                        slots = {name for name, _ in elements}
+                        classes[node.name] = classes.get(node.name, set()) | slots
+    return classes
+
+
+def _new_call_class(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Class name when ``node`` is ``Cls.__new__(Cls)`` or ``alias(Cls)``."""
+    if not isinstance(node, ast.Call) or len(node.args) != 1:
+        return None
+    arg = node.args[0]
+    if not isinstance(arg, ast.Name):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "__new__"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == arg.id
+    ):
+        return arg.id
+    if isinstance(func, ast.Name) and aliases.get(func.id) == arg.id:
+        return arg.id
+    return None
+
+
+class _FunctionScan:
+    """Receiver typing and attribute writes within one function body."""
+
+    def __init__(
+        self,
+        func: ast.AST,
+        slotted: Dict[str, Set[str]],
+        class_name: Optional[str],
+    ) -> None:
+        #: local/parameter name -> slotted class name
+        self.receiver_class: Dict[str, str] = {}
+        #: receiver name -> attribute names written in this function
+        self.writes: Dict[str, List[ast.Attribute]] = {}
+        #: (lineno, class, receiver) of each fast-construction site
+        self.new_sites: List[tuple] = []
+        aliases: Dict[str, str] = {}
+
+        args = func.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            annotation = arg.annotation
+            name: Optional[str] = None
+            if isinstance(annotation, ast.Name):
+                name = annotation.id
+            elif isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                name = annotation.value.strip()
+            if name in slotted:
+                self.receiver_class[arg.arg] = name
+        if class_name is not None and class_name in slotted and args.args:
+            first = args.args[0].arg
+            if first == "self":
+                self.receiver_class[first] = class_name
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                # Hoisted constructor alias: ctor = Cls.__new__
+                if (
+                    isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "__new__"
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id in slotted
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases[target.id] = node.value.value.id
+                    continue
+                cls = _new_call_class(node.value, aliases)
+                if cls is None and (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in slotted
+                ):
+                    # Plain construction: receiver type known, but __init__
+                    # ran, so completeness is not checked.
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.receiver_class[target.id] = node.value.func.id
+                elif cls is not None and cls in slotted:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.receiver_class[target.id] = cls
+                            self.new_sites.append((node.lineno, cls, target.id))
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                    ):
+                        self.writes.setdefault(target.value.id, []).append(target)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Attribute
+            ):
+                if isinstance(node.target.value, ast.Name):
+                    self.writes.setdefault(node.target.value.id, []).append(
+                        node.target
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute
+            ):
+                # Augmented writes (x.attr += 1) read first — they cannot
+                # initialize a slot, but a stray name still fails.
+                if isinstance(node.target.value, ast.Name):
+                    self.writes.setdefault(node.target.value.id, []).append(
+                        node.target
+                    )
+
+
+class _SlotsVisitor(ScopeVisitor):
+    def __init__(self, file: SourceFile, slotted: Dict[str, Set[str]]) -> None:
+        super().__init__()
+        self.file = file
+        self.slotted = slotted
+        self.findings: List[Finding] = []
+        self._class_stack: List[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        try:
+            self.generic_visit_scoped(node, node.name)
+        finally:
+            self._class_stack.pop()
+
+    def _visit_func(self, node: ast.AST, name: str) -> None:
+        class_name = self._class_stack[-1] if self._class_stack else None
+        in_ctor = name in ("__init__", "__new__") and class_name is not None
+        scan = _FunctionScan(node, self.slotted, class_name)
+
+        for lineno, cls, receiver in scan.new_sites:
+            written = {
+                write.attr for write in scan.writes.get(receiver, [])
+            }
+            missing = sorted(self.slotted[cls] - written)
+            if missing:
+                self.findings.append(
+                    Finding(
+                        path=self.file.path,
+                        line=lineno,
+                        rule="slots-incomplete-new",
+                        symbol=self._qual(name),
+                        message=(
+                            f"{cls}.__new__ fast construction leaves slots "
+                            f"unassigned: {', '.join(missing)}"
+                        ),
+                        rationale=RATIONALES["slots-incomplete-new"],
+                        checker=CHECKER_ID,
+                    )
+                )
+
+        for receiver, cls in scan.receiver_class.items():
+            if receiver == "self" and in_ctor:
+                continue  # __init__/__new__ may define any declared slot
+            slots = self.slotted[cls]
+            for write in scan.writes.get(receiver, []):
+                if write.attr not in slots:
+                    self.findings.append(
+                        Finding(
+                            path=self.file.path,
+                            line=write.lineno,
+                            rule="slots-stray-write",
+                            symbol=self._qual(name),
+                            message=(
+                                f"write to {receiver}.{write.attr}: "
+                                f"{write.attr!r} is not in {cls}.__slots__"
+                            ),
+                            rationale=RATIONALES["slots-stray-write"],
+                            checker=CHECKER_ID,
+                        )
+                    )
+        self.generic_visit_scoped(node, name)
+
+    def _qual(self, name: str) -> str:
+        return f"{self.qualname}.{name}" if self._scope else name
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+
+def check(project: Project) -> List[Finding]:
+    slotted = _slotted_classes(project)
+    if not slotted:
+        return []
+    findings: List[Finding] = []
+    for file in project:
+        if file.tree is None:
+            continue
+        visitor = _SlotsVisitor(file, slotted)
+        visitor.visit(file.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,150 @@
+"""Lint orchestrator: run every checker, apply suppressions, report.
+
+Pipeline: load the ``src/repro`` tree into a :class:`Project`, run each
+registered checker, drop findings covered by an inline
+``# repro-lint: allow[rule] reason`` pragma, match the rest against the
+committed baseline, and render. Exit status is the gate contract:
+
+* ``0`` — no new findings and no stale baseline entries,
+* ``1`` — new findings and/or stale entries (the ratchet fired),
+* ``2`` — a linted file failed to parse (the tree itself is broken).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .checkers import CHECKERS
+from .findings import Finding
+from .project import Project
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-rendering."""
+
+    findings: List[Finding] = field(default_factory=list)      # post-pragma
+    pragma_suppressed: List[Finding] = field(default_factory=list)
+    baseline: BaselineResult = field(
+        default_factory=lambda: BaselineResult(new=[], suppressed=[], stale=[])
+    )
+    syntax_errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.syntax_errors:
+            return 2
+        if self.baseline.new or self.baseline.stale:
+            return 1
+        return 0
+
+
+def run_lint(
+    project: Optional[Project] = None,
+    baseline_entries: Optional[List[BaselineEntry]] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintReport:
+    """Run all checkers over ``project`` (default: the installed tree)."""
+    if project is None:
+        project = Project.from_dir()
+    if baseline_entries is None:
+        baseline_entries = load_baseline(baseline_path)
+
+    report = LintReport()
+    for file in project:
+        if file.syntax_error is not None:
+            report.syntax_errors.append(f"{file.path}: {file.syntax_error}")
+
+    collected: List[Finding] = []
+    for check in CHECKERS.values():
+        collected.extend(check(project))
+
+    for finding in sorted(collected):
+        source = project.file_by_path(finding.path)
+        if source is not None and finding.rule in source.allowed_rules(
+            finding.line
+        ):
+            report.pragma_suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+    report.baseline = apply_baseline(report.findings, baseline_entries)
+    return report
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for error in report.syntax_errors:
+        lines.append(f"syntax error: {error}")
+    for finding in report.baseline.new:
+        lines.append(finding.render())
+        if verbose:
+            lines.append(f"    rationale: {finding.rationale}")
+    for entry in report.baseline.stale:
+        lines.append(
+            f"{entry.path}: [{entry.rule}] ({entry.symbol}) stale baseline "
+            f"entry — no matching finding; remove it or run --write-baseline"
+        )
+    summary = (
+        f"repro lint: {len(report.baseline.new)} new, "
+        f"{len(report.baseline.suppressed)} baselined, "
+        f"{len(report.pragma_suppressed)} pragma-suppressed, "
+        f"{len(report.baseline.stale)} stale baseline entr"
+        f"{'y' if len(report.baseline.stale) == 1 else 'ies'}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "exit_code": report.exit_code,
+            "new": [f.to_dict() for f in report.baseline.new],
+            "baselined": [f.to_dict() for f in report.baseline.suppressed],
+            "pragma_suppressed": [
+                f.to_dict() for f in report.pragma_suppressed
+            ],
+            "stale_baseline": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "symbol": e.symbol,
+                    "message": e.message,
+                    "reason": e.reason,
+                }
+                for e in report.baseline.stale
+            ],
+            "syntax_errors": report.syntax_errors,
+        },
+        indent=2,
+    )
+
+
+def update_baseline(
+    report: LintReport, path: Optional[Path] = None
+) -> Path:
+    """Rewrite the baseline from this run's findings, keeping old reasons."""
+    previous = load_baseline(path)
+    return write_baseline(report.findings, path=path, previous=previous)
+
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "LintReport",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "update_baseline",
+]

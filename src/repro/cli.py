@@ -170,6 +170,25 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="output path (default BENCH_<stamp>.json in cwd)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis checkers (determinism, "
+        "cache-key completeness, express-lane purity, slots discipline) "
+        "over src/repro; exits non-zero on new findings or stale baseline "
+        "entries",
+    )
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of accepted findings (default: "
+                      "src/repro/analysis/baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings "
+                      "(preserving reasons of surviving entries) instead of "
+                      "failing on them")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    lint.add_argument("--verbose", action="store_true",
+                      help="print each rule's rationale under its findings")
+
     sub.add_parser("list", help="list available figure panels")
     return parser
 
@@ -398,10 +417,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         best_wall = float("inf")
         for _ in range(args.repeat):
             figures_base.STATS.reset()
+            # repro-lint: allow[det-wallclock] bench measures host wall time
             start = time.perf_counter()
             _run_panel(name, jobs=1, cache=None, audit=False,
                        frame_trains=frame_trains, express=express)
-            wall = time.perf_counter() - start
+            wall = time.perf_counter() - start  # repro-lint: allow[det-wallclock] bench measures host wall time
             if wall < best_wall:
                 best_wall = wall
         stats = figures_base.STATS
@@ -453,6 +473,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import lint as lint_mod
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = lint_mod.run_lint(baseline_path=baseline_path)
+    if args.write_baseline:
+        path = lint_mod.update_baseline(report, path=baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {path}")
+        return 0
+    if args.json:
+        print(lint_mod.render_json(report))
+    else:
+        print(lint_mod.render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
 def cmd_list(_: argparse.Namespace) -> int:
     for name in sorted(_panel_registry()):
         print(name)
@@ -467,6 +505,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "audit": cmd_audit,
         "bench": cmd_bench,
+        "lint": cmd_lint,
         "list": cmd_list,
     }
     return handlers[args.command](args)

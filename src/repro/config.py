@@ -10,7 +10,6 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from . import constants
 from .units import kb, msec
@@ -250,18 +249,37 @@ class ExperimentConfig:
             raise ValueError("packet loss requires has_switch=True (drops happen there)")
 
 
+#: ``ExperimentConfig`` fields deliberately excluded from the
+#: content-addressed cache key. Declared here (not just via per-field
+#: ``metadata``) so the exclusion list is a single reviewable contract;
+#: ``repro lint`` (the cache-key checker) enforces that this set and the
+#: ``cache_key: False`` field markers stay in two-way sync and that
+#: :func:`_canonicalize` actually consults it. Only simulator-implementation
+#: switches whose output equivalence is gated elsewhere (golden digests +
+#: equivalence property tests) belong here.
+CACHE_KEY_EXCLUDED = frozenset({"frame_trains", "express"})
+
+
 def _canonicalize(value: object) -> object:
     """Recursively convert config values into JSON-stable primitives.
 
     Dataclasses become field-name dicts, enums their values, and dict keys are
     stringified and sorted so ``json.dumps(..., sort_keys=True)`` over the
     output is a stable canonical encoding.
+
+    Fields are dropped from the output iff their definition carries
+    ``metadata={"cache_key": False}`` *and* (for ``ExperimentConfig``) their
+    name appears in :data:`CACHE_KEY_EXCLUDED` — the two declarations are
+    kept in sync by ``repro lint``.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        excluded = (
+            CACHE_KEY_EXCLUDED if isinstance(value, ExperimentConfig) else frozenset()
+        )
         return {
             f.name: _canonicalize(getattr(value, f.name))
             for f in dataclasses.fields(value)
-            if f.metadata.get("cache_key", True)
+            if f.metadata.get("cache_key", True) and f.name not in excluded
         }
     if isinstance(value, enum.Enum):
         return value.value

@@ -22,9 +22,17 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from ..config import ExperimentConfig
+from ..config import CACHE_KEY_EXCLUDED, ExperimentConfig
 from .export import result_from_dict, result_to_dict
 from .results import ExperimentResult
+
+__all__ = [
+    "CACHE_KEY_EXCLUDED",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "config_cache_key",
+    "default_cache_dir",
+]
 
 #: Bump whenever simulator behaviour or the result encoding changes in a way
 #: that makes previously cached results stale.
@@ -130,9 +138,11 @@ class ResultCache:
         in-flight temp file is never yanked out from under its rename.
         """
         removed = 0
-        now = time.time()
+        # File mtimes are wall-clock, so the staleness comparison must be
+        # too; this never reaches simulated results.
+        now = time.time()  # repro-lint: allow[det-wallclock] mtime comparison for GC only
         try:
-            candidates = list(directory.glob("*.tmp.*"))
+            candidates = sorted(directory.glob("*.tmp.*"))
         except OSError:
             return 0
         for tmp in candidates:
@@ -162,4 +172,5 @@ class ResultCache:
         version_root = self.root / f"v{self.schema_version}"
         if not version_root.exists():
             return 0
+        # repro-lint: allow[det-fs-order] counting entries is order-insensitive
         return sum(1 for _ in version_root.rglob("*.json"))

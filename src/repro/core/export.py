@@ -11,12 +11,12 @@ import io
 import json
 from typing import Union
 
+from ..trace import TraceReport
 from .audit import AuditReport
 from .metrics import LatencyStats
 from .report import Table
 from .results import BreakdownTable, ExperimentResult
 from .taxonomy import Category
-from ..trace import TraceReport
 
 
 def result_to_dict(result: ExperimentResult) -> dict:

@@ -8,7 +8,7 @@ against the paper's plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from .results import BreakdownTable
 from .taxonomy import Category

@@ -5,10 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..trace import TraceReport
 from .audit import AuditReport
 from .metrics import LatencyStats
 from .taxonomy import Category
-from ..trace import TraceReport
 
 
 @dataclass

@@ -18,7 +18,7 @@ worst-case IRQ mapping when aRFS is off).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from ..config import SteeringMode
 

@@ -14,7 +14,7 @@ TCP endpoints). Flow steering follows the experiment configuration:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from ..config import ExperimentConfig
 from ..core.profiler import CpuProfiler

@@ -9,7 +9,7 @@ which is when L3 hit/miss is determined (§3.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 from .skb import Skb
 

@@ -30,11 +30,11 @@ from ...constants import (
     TCP_MIN_RTO_NS,
 )
 from ...hardware.cpu import PRIORITY_APP, PRIORITY_SOFTIRQ
+from ...hardware.link import Frame
 from ...units import msec
 from ..sched import charge_wakeup
 from ..skb import Skb
 from ..socket import Socket
-from ...hardware.link import Frame
 from .ack import AckInfo
 from .cc import make_congestion_controller
 from .express import FlowExpressGate

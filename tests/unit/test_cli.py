@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import _build_parser, _config_from_args, main
 from repro.config import CongestionControl, NumaPolicy, TrafficPattern
 

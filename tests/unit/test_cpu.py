@@ -1,7 +1,5 @@
 """Unit tests for the CPU core model."""
 
-import pytest
-
 from repro.core.profiler import CpuProfiler
 from repro.costs.calibration import default_cost_model
 from repro.hardware.cpu import PRIORITY_APP, PRIORITY_SOFTIRQ, Core, Job

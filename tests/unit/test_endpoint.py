@@ -3,7 +3,7 @@ two-host experiment so every dependency is real."""
 
 import pytest
 
-from repro.config import ExperimentConfig, TrafficPattern
+from repro.config import ExperimentConfig
 from repro.core.experiment import Experiment
 from repro.kernel.skb import Skb
 from repro.units import msec

@@ -2,7 +2,7 @@
 
 from repro.core.report import Table
 from repro.core.taxonomy import Category
-from repro.figures import ALL_FIGURES, fig3, fig4, fig11, tables
+from repro.figures import ALL_FIGURES, fig11, fig3, fig4, tables
 
 
 def test_registry_covers_every_evaluation_figure():

@@ -1,0 +1,159 @@
+"""Express-purity checker: call-graph walk from lane entry points."""
+
+from repro.analysis.checkers import express
+from repro.analysis.project import Project
+
+
+def findings_for(sources):
+    return express.check(Project.from_sources(sources))
+
+
+CALLBACK_SCHEDULES = """\
+class Core:
+    def kick(self):
+        self.engine.express_at(10, self._finish, None)
+
+    def _finish(self, arg):
+        self._next()
+
+    def _next(self):
+        self.engine.schedule_at(20, self._finish, None)
+"""
+
+
+def test_schedule_reachable_from_callback():
+    findings = findings_for({"hardware/cpu.py": CALLBACK_SCHEDULES})
+    assert [(f.rule, f.symbol, f.line) for f in findings] == [
+        ("express-wheel-schedule", "Core._next", 9)
+    ]
+    assert "callback Core._finish" in findings[0].message
+
+
+def test_clean_callback_has_no_findings():
+    source = CALLBACK_SCHEDULES.replace(
+        "self.engine.schedule_at(20, self._finish, None)", "self.count += 1"
+    )
+    assert findings_for({"hardware/cpu.py": source}) == []
+
+
+def test_event_allocation_under_callback():
+    source = """\
+from ..sim.engine import Event
+
+class Timer:
+    def arm(self):
+        self.engine.express_at(5, self._fire, 0)
+
+    def _fire(self, serial):
+        self.pending = Event(1, 2, None, None)
+"""
+    findings = findings_for({"kernel/timer.py": source})
+    assert [(f.rule, f.symbol) for f in findings] == [
+        ("express-event-alloc", "Timer._fire")
+    ]
+
+
+def test_event_name_from_elsewhere_not_flagged():
+    source = """\
+from .records import Event
+
+class Timer:
+    def arm(self):
+        self.engine.express_at(5, self._fire, 0)
+
+    def _fire(self, serial):
+        self.pending = Event(1, 2, None, None)
+"""
+    assert findings_for({"kernel/timer.py": source}) == []
+
+
+def test_reserve_serial_marks_producer():
+    source = """\
+class Endpoint:
+    def _arm(self):
+        serial = self.engine.reserve_serial()
+        self.engine.schedule(30, self._fire)
+"""
+    findings = findings_for({"kernel/endpoint.py": source})
+    assert [(f.rule, f.symbol) for f in findings] == [
+        ("express-wheel-schedule", "Endpoint._arm")
+    ]
+    assert "producer Endpoint._arm" in findings[0].message
+
+
+def test_nested_closure_is_traversed():
+    source = """\
+class Endpoint:
+    def kick(self):
+        self.engine.express_at(10, self._fire, 0)
+
+    def _fire(self, serial):
+        def done():
+            self.engine.schedule(5, self._fire)
+        self.submit(done)
+"""
+    findings = findings_for({"kernel/endpoint.py": source})
+    assert [(f.rule, f.symbol) for f in findings] == [
+        ("express-wheel-schedule", "Endpoint._fire.done")
+    ]
+
+
+def test_module_function_edge():
+    source = """\
+def helper(engine):
+    engine.schedule_at(9, helper, engine)
+
+class Core:
+    def kick(self):
+        self.engine.express_at(10, self._finish, None)
+
+    def _finish(self, arg):
+        helper(self.engine)
+"""
+    findings = findings_for({"hardware/cpu.py": source})
+    assert [(f.rule, f.symbol) for f in findings] == [
+        ("express-wheel-schedule", "helper")
+    ]
+
+
+def test_unreachable_schedule_not_flagged():
+    source = """\
+class Core:
+    def kick(self):
+        self.engine.express_at(10, self._finish, None)
+
+    def _finish(self, arg):
+        self.done = True
+
+    def unrelated(self):
+        self.engine.schedule(99, self._finish)
+"""
+    assert findings_for({"hardware/cpu.py": source}) == []
+
+
+def test_engine_module_is_exempt():
+    source = """\
+class Engine:
+    def express_at(self, time, fn, arg):
+        self._register(time, fn, arg)
+
+    def _register(self, time, fn, arg):
+        self.schedule(time, fn, arg)
+"""
+    assert findings_for({"sim/engine.py": source}) == []
+
+
+def test_real_tree_findings_match_gated_fallbacks():
+    findings = express.check(Project.from_dir())
+    assert {(f.path, f.rule, f.symbol) for f in findings} == {
+        (
+            "src/repro/hardware/cpu.py",
+            "express-wheel-schedule",
+            "Core._start_next",
+        ),
+        (
+            "src/repro/kernel/tcp/endpoint.py",
+            "express-wheel-schedule",
+            "TcpEndpoint._arm_rto",
+        ),
+    }

@@ -1,0 +1,214 @@
+"""Framework-level tests for repro lint: findings, pragmas, baseline, driver."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.lint import LintReport, render_json, render_text, run_lint
+from repro.analysis.project import Project, SourceFile, const_str_elements
+
+
+def make_finding(**overrides):
+    base = dict(
+        path="src/repro/sim/engine.py",
+        line=10,
+        rule="det-wallclock",
+        symbol="Engine.run",
+        message="wall-clock call time.time()",
+        rationale="why",
+        checker="determinism",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_identity_excludes_line(self):
+        a = make_finding(line=10)
+        b = make_finding(line=99)
+        assert a.identity() == b.identity()
+
+    def test_render_includes_location_rule_symbol(self):
+        text = make_finding().render()
+        assert "src/repro/sim/engine.py:10" in text
+        assert "[det-wallclock]" in text
+        assert "Engine.run" in text
+
+    def test_render_omits_module_symbol(self):
+        text = make_finding(symbol="<module>").render()
+        assert "<module>" not in text
+
+    def test_ordering_is_stable(self):
+        findings = [make_finding(line=5), make_finding(line=1)]
+        assert sorted(findings)[0].line == 1
+
+
+class TestPragmas:
+    def test_same_line_pragma(self):
+        f = SourceFile(
+            "src/repro/x.py",
+            "x.py",
+            "import time\nnow = time.time()  # repro-lint: allow[det-wallclock] ok\n",
+        )
+        assert "det-wallclock" in f.allowed_rules(2)
+        assert f.allowed_rules(1) == frozenset()
+
+    def test_standalone_comment_covers_next_line(self):
+        f = SourceFile(
+            "src/repro/x.py",
+            "x.py",
+            "# repro-lint: allow[det-wallclock] justified\nnow = 1\n",
+        )
+        assert "det-wallclock" in f.allowed_rules(2)
+
+    def test_multiple_rules_one_pragma(self):
+        f = SourceFile(
+            "src/repro/x.py",
+            "x.py",
+            "y = 0  # repro-lint: allow[det-wallclock, det-fs-order]\n",
+        )
+        assert f.allowed_rules(1) == {"det-wallclock", "det-fs-order"}
+
+    def test_no_pragma_no_allowance(self):
+        f = SourceFile("src/repro/x.py", "x.py", "x = 1\n")
+        assert f.allowed_rules(1) == frozenset()
+
+
+class TestProject:
+    def test_from_sources_and_lookup(self):
+        project = Project.from_sources({"sim/engine.py": "x = 1\n"})
+        assert project.file("sim/engine.py") is not None
+        assert project.file_by_path("src/repro/sim/engine.py") is not None
+        assert project.file_by_path("elsewhere/sim/engine.py") is None
+
+    def test_syntax_error_is_captured_not_raised(self):
+        project = Project.from_sources({"bad.py": "def broken(:\n"})
+        file = project.file("bad.py")
+        assert file.tree is None
+        assert file.syntax_error is not None
+
+    def test_import_map_resolution(self):
+        f = SourceFile(
+            "src/repro/x.py",
+            "x.py",
+            "import numpy as np\nfrom time import perf_counter\n",
+        )
+        assert f.imports["np"] == "numpy"
+        assert f.imports["perf_counter"] == "time.perf_counter"
+
+    def test_const_str_elements_forms(self):
+        import ast
+
+        for source in (
+            "frozenset({'a', 'b'})",
+            "{'a', 'b'}",
+            "('a', 'b')",
+            "['a', 'b']",
+        ):
+            node = ast.parse(source, mode="eval").body
+            values = {name for name, _ in const_str_elements(node)}
+            assert values == {"a", "b"}, source
+        non_literal = ast.parse("frozenset(x)", mode="eval").body
+        assert const_str_elements(non_literal) is None
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_roundtrip_preserves_reasons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = make_finding()
+        write_baseline([finding], path=path)
+        entries = load_baseline(path)
+        assert len(entries) == 1
+        assert entries[0].reason == ""
+        reasoned = BaselineEntry(
+            rule=entries[0].rule,
+            path=entries[0].path,
+            symbol=entries[0].symbol,
+            message=entries[0].message,
+            reason="accepted because reasons",
+        )
+        write_baseline([finding], path=path, previous=[reasoned])
+        assert load_baseline(path)[0].reason == "accepted because reasons"
+
+    def test_apply_splits_new_suppressed_stale(self):
+        covered = make_finding()
+        fresh = make_finding(rule="det-urandom", message="other")
+        entry = BaselineEntry(
+            rule=covered.rule,
+            path=covered.path,
+            symbol=covered.symbol,
+            message=covered.message,
+        )
+        stale = BaselineEntry(
+            rule="gone", path="src/repro/x.py", symbol="f", message="m"
+        )
+        result = apply_baseline([covered, fresh], [entry, stale])
+        assert result.suppressed == [covered]
+        assert result.new == [fresh]
+        assert result.stale == [stale]
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestDriver:
+    def test_exit_codes(self):
+        clean = LintReport()
+        assert clean.exit_code == 0
+        dirty = LintReport()
+        dirty.baseline.new.append(make_finding())
+        assert dirty.exit_code == 1
+        broken = LintReport(syntax_errors=["src/repro/bad.py: boom"])
+        assert broken.exit_code == 2
+
+    def test_stale_baseline_fails_ratchet(self):
+        project = Project.from_sources({"clean.py": "x = 1\n"})
+        report = run_lint(
+            project,
+            baseline_entries=[
+                BaselineEntry(
+                    rule="gone", path="src/repro/x.py", symbol="f", message="m"
+                )
+            ],
+        )
+        assert report.exit_code == 1
+        assert len(report.baseline.stale) == 1
+
+    def test_pragma_suppression_applied_by_driver(self):
+        project = Project.from_sources(
+            {
+                "sim/clock.py": (
+                    "import time\n"
+                    "def f():\n"
+                    "    return time.time()  # repro-lint: allow[det-wallclock] tested\n"
+                )
+            }
+        )
+        report = run_lint(project, baseline_entries=[])
+        assert report.baseline.new == []
+        assert [f.rule for f in report.pragma_suppressed] == ["det-wallclock"]
+
+    def test_render_text_and_json(self):
+        project = Project.from_sources(
+            {"sim/clock.py": "import time\ndef f():\n    return time.time()\n"}
+        )
+        report = run_lint(project, baseline_entries=[])
+        text = render_text(report)
+        assert "det-wallclock" in text
+        assert "1 new" in text
+        payload = json.loads(render_json(report))
+        assert payload["exit_code"] == 1
+        assert payload["new"][0]["rule"] == "det-wallclock"

@@ -12,7 +12,7 @@ from repro.config import ExperimentConfig, TrafficPattern
 from repro.core.cache import config_cache_key
 from repro.core.experiment import Experiment
 from repro.core.export import result_to_dict
-from repro.hardware.train import FrameTrain, TrainPipeline
+from repro.hardware.train import FrameTrain
 from repro.units import msec
 
 
